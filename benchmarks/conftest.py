@@ -1,0 +1,65 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section 6) at *laptop scale*: the parameter ratios of Table 1 are preserved
+but the run is shortened so the whole suite finishes in a few minutes.  Pass
+``--paper-scale`` to run the original 24-hour, 5000-host configuration
+instead (slow, but it is the configuration the paper used).
+
+The printed tables/series are emitted outside pytest's capture so they appear
+directly in ``pytest benchmarks/ --benchmark-only`` output, which is what
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.core.config import HOUR  # noqa: E402
+from repro.experiments.driver import ExperimentSetup  # noqa: E402
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run the benchmarks at the paper's full Table 1 scale (much slower)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_setup(request: pytest.FixtureRequest) -> ExperimentSetup:
+    """The experiment configuration shared by all benchmark harnesses."""
+    if request.config.getoption("--paper-scale"):
+        return ExperimentSetup.paper_scale(seed=42)
+    return ExperimentSetup.laptop_scale(
+        seed=42,
+        duration_s=3 * HOUR,
+        query_rate_per_s=2.0,
+        num_websites=20,
+        active_websites=2,
+        objects_per_website=200,
+        num_localities=3,
+        max_content_overlay_size=40,
+        num_hosts=600,
+    )
+
+
+@pytest.fixture
+def report(capsys: pytest.CaptureFixture):
+    """Print a result block so it is visible in the benchmark run's output."""
+
+    def emit(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return emit

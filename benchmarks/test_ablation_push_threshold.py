@@ -1,0 +1,34 @@
+"""Ablation: push-threshold variation (discussed in the prose of Section 6.2).
+
+Paper reference: "we also varied push threshold; but we do not show the
+results which illustrate similar performance (i.e., almost same gains and
+same trade-off) for different values of push threshold (0.1; 0.5; 0.7)".
+
+Expected shape here: hit ratio and background bandwidth are essentially
+insensitive to the push threshold.
+"""
+
+from repro.experiments.gossip_tradeoff import (
+    PAPER_PUSH_THRESHOLDS,
+    format_sweep,
+    run_push_threshold_sweep,
+)
+
+
+def test_ablation_push_threshold(benchmark, bench_setup, report):
+    rows = benchmark.pedantic(
+        run_push_threshold_sweep,
+        args=(bench_setup,),
+        kwargs={"values": PAPER_PUSH_THRESHOLDS},
+        rounds=1,
+        iterations=1,
+    )
+
+    report(format_sweep(rows, "Ablation: varying the push threshold (0.1 / 0.5 / 0.7)"))
+
+    hit_ratios = [row.hit_ratio for row in rows]
+    bandwidths = [row.background_bps for row in rows]
+
+    # "Almost same gains and same trade-off" across thresholds.
+    assert max(hit_ratios) - min(hit_ratios) < 0.1
+    assert max(bandwidths) < 2.0 * max(min(bandwidths), 1.0)

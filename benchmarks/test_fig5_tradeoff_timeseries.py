@@ -1,0 +1,30 @@
+"""Figure 5: hit ratio and background traffic over time for the chosen setting.
+
+Paper reference: with Tgossip = 30 min, Lgossip = 10 and Vgossip = 50 the
+cumulative hit ratio keeps rising through the 24-hour run while the per-peer
+background traffic stabilises at ≈74 bps after about 5 hours.
+
+Expected shape here: a (near) monotonically increasing hit-ratio curve and a
+bounded, stabilising background-traffic level.
+"""
+
+from repro.experiments.timeseries import run_tradeoff_timeseries
+
+
+def test_fig5_hit_ratio_and_traffic_over_time(benchmark, bench_setup, report):
+    result = benchmark.pedantic(
+        run_tradeoff_timeseries, args=(bench_setup,), rounds=1, iterations=1
+    )
+
+    report(result.format())
+
+    # Figure 5 shape: the cumulative hit ratio keeps improving over time.
+    assert result.hit_ratio_is_non_decreasing()
+    curve = [value for _, value in result.hit_ratio_over_time]
+    assert curve[-1] > curve[0]
+
+    # Background traffic exists, is modest, and does not keep growing: the last
+    # windows sit near the overall per-peer average.
+    assert 0 < result.final_background_bps < 1000
+    tail = [bps for _, bps in result.background_bps_over_time[-3:]]
+    assert tail and max(tail) < 5 * max(result.final_background_bps, 1.0)

@@ -1,0 +1,35 @@
+"""Table 1: the simulation parameter set.
+
+This harness does not measure a system property; it regenerates the
+parameter table the evaluation is configured with (both the paper-scale
+defaults of ``FlowerConfig()`` and the scale actually used by the benchmark
+suite) so the remaining benchmarks can be interpreted against it.
+"""
+
+from repro.core.config import FlowerConfig
+from repro.metrics.report import format_table
+
+
+def test_table1_simulation_parameters(benchmark, bench_setup, report):
+    def build_tables():
+        paper = FlowerConfig().table1()
+        used = bench_setup.flower.table1()
+        return paper, used
+
+    paper, used = benchmark.pedantic(build_tables, rounds=1, iterations=1)
+
+    rows = [(key, paper[key], used.get(key, "-")) for key in paper]
+    rows.append(("Query rate (q/s)", 6.0, bench_setup.workload.query_rate_per_s))
+    rows.append(("Underlying hosts", 5000, bench_setup.topology.num_hosts))
+    report(
+        format_table(
+            ["parameter", "paper (Table 1)", "this benchmark run"],
+            rows,
+            title="Table 1: simulation parameters",
+        )
+    )
+
+    assert paper["Nb of localities (k)"] == 6
+    assert paper["Nb of websites (|W|)"] == 100
+    assert paper["View size (Vgossip)"] == 50
+    assert used["Nb of localities (k)"] == bench_setup.flower.num_localities

@@ -1,0 +1,41 @@
+"""Table 2(a): hit ratio and background bandwidth when varying Lgossip.
+
+Paper reference (24 h, PeerSim):
+
+    Lgossip   hit ratio   background BW
+    5         0.823       37 bps
+    10        0.86        74 bps
+    20        0.89        147 bps
+
+Expected shape: bandwidth grows roughly linearly with Lgossip (×4 from 5 to
+20 in the paper) while the hit ratio improves only marginally.
+"""
+
+from repro.experiments.gossip_tradeoff import (
+    PAPER_GOSSIP_LENGTHS,
+    format_sweep,
+    run_gossip_length_sweep,
+)
+
+
+def test_table2a_gossip_length_sweep(benchmark, bench_setup, report):
+    rows = benchmark.pedantic(
+        run_gossip_length_sweep,
+        args=(bench_setup,),
+        kwargs={"values": PAPER_GOSSIP_LENGTHS},
+        rounds=1,
+        iterations=1,
+    )
+
+    report(format_sweep(rows, "Table 2(a): varying Lgossip (Tgossip = 30 min, Vgossip = 50)"))
+
+    by_value = {row.value: row for row in rows}
+    short, medium, long = by_value[5], by_value[10], by_value[20]
+
+    # Bandwidth grows with the gossip length, roughly linearly.
+    assert short.background_bps < medium.background_bps < long.background_bps
+    assert long.background_bps / short.background_bps > 2.0
+
+    # The hit ratio gain is positive but modest (paper: +0.067 from 5 to 20).
+    assert long.hit_ratio >= short.hit_ratio - 0.02
+    assert long.hit_ratio - short.hit_ratio < 0.25

@@ -1,0 +1,41 @@
+"""Table 2(b): hit ratio and background bandwidth when varying Tgossip.
+
+Paper reference (24 h, PeerSim):
+
+    Tgossip   hit ratio   background BW
+    1 min     0.94        2239 bps
+    30 min    0.86        74 bps
+    1 hour    0.81        37 bps
+
+Expected shape: lengthening the gossip period reduces bandwidth by a large
+factor (×60 from 1 min to 1 h in the paper) and costs some hit ratio.
+"""
+
+from repro.experiments.gossip_tradeoff import (
+    PAPER_GOSSIP_PERIODS_S,
+    format_sweep,
+    run_gossip_period_sweep,
+)
+
+
+def test_table2b_gossip_period_sweep(benchmark, bench_setup, report):
+    rows = benchmark.pedantic(
+        run_gossip_period_sweep,
+        args=(bench_setup,),
+        kwargs={"values": PAPER_GOSSIP_PERIODS_S},
+        rounds=1,
+        iterations=1,
+    )
+
+    report(format_sweep(rows, "Table 2(b): varying Tgossip (Lgossip = 10, Vgossip = 50)"))
+
+    by_value = {row.value: row for row in rows}
+    fast, medium, slow = by_value[60.0], by_value[1800.0], by_value[3600.0]
+
+    # Gossiping every minute costs far more bandwidth than every hour.
+    assert fast.background_bps > medium.background_bps > slow.background_bps
+    assert fast.background_bps / slow.background_bps > 10.0
+
+    # The hit ratio degrades as gossip becomes less frequent.
+    assert fast.hit_ratio >= medium.hit_ratio >= slow.hit_ratio - 0.02
+    assert fast.hit_ratio > slow.hit_ratio

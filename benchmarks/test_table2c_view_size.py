@@ -1,0 +1,46 @@
+"""Table 2(c): hit ratio and background bandwidth when varying Vgossip.
+
+Paper reference (24 h, PeerSim):
+
+    Vgossip   hit ratio   background BW
+    20        0.78        74 bps
+    50        0.86        74 bps
+    70        0.863       74 bps
+
+Expected shape: the view size does not change the amount of information
+exchanged per round, so bandwidth stays flat; the hit ratio improves slightly
+with a larger view and saturates once the view covers the overlay.
+"""
+
+import pytest
+
+from repro.experiments.gossip_tradeoff import (
+    PAPER_VIEW_SIZES,
+    format_sweep,
+    run_view_size_sweep,
+)
+
+
+def test_table2c_view_size_sweep(benchmark, bench_setup, report):
+    rows = benchmark.pedantic(
+        run_view_size_sweep,
+        args=(bench_setup,),
+        kwargs={"values": PAPER_VIEW_SIZES},
+        rounds=1,
+        iterations=1,
+    )
+
+    report(format_sweep(rows, "Table 2(c): varying Vgossip (Lgossip = 10, Tgossip = 30 min)"))
+
+    by_value = {row.value: row for row in rows}
+    small, medium, large = by_value[20], by_value[50], by_value[70]
+
+    # Bandwidth is unaffected by the view size (storage-only cost); only the
+    # second-order effect of slightly different push batches remains.
+    assert small.background_bps == pytest.approx(medium.background_bps, rel=0.05)
+    assert medium.background_bps == pytest.approx(large.background_bps, rel=0.05)
+
+    # The hit ratio does not degrade with a larger view; differences are small
+    # (the paper reports +0.083 from 20 to 70 contacts).
+    assert large.hit_ratio >= small.hit_ratio - 0.03
+    assert abs(large.hit_ratio - medium.hit_ratio) < 0.05

@@ -1,0 +1,12 @@
+"""Pytest root configuration.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(e.g. on offline machines where ``pip install -e .`` cannot build a wheel).
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Flower-CDN vs Squirrel: the locality-awareness comparison of Sections 6.3/6.4.
+
+Both systems process exactly the same Zipf query trace on the same underlying
+topology.  The example prints the three comparisons the paper plots:
+
+* Figure 6 — cumulative hit ratio over time (Squirrel converges faster);
+* Figure 7 — lookup latency, average and distribution (Flower-CDN is several
+  times faster because only first queries traverse the DHT);
+* Figure 8 — transfer distance, average and distribution (Flower-CDN serves
+  content from the requester's own locality).
+
+Run with:  python examples/squirrel_comparison.py
+"""
+
+from repro.core.config import HOUR
+from repro.experiments import ExperimentSetup, run_hit_ratio_comparison, run_locality_experiment
+
+
+def build_setup() -> ExperimentSetup:
+    return ExperimentSetup.laptop_scale(
+        seed=11,
+        duration_s=3 * HOUR,
+        query_rate_per_s=2.0,
+        num_websites=20,
+        active_websites=2,
+        objects_per_website=200,
+        num_localities=3,
+        max_content_overlay_size=40,
+    )
+
+
+def main() -> None:
+    setup = build_setup()
+
+    print("Figure 6: hit ratio, Flower-CDN vs Squirrel")
+    print("===========================================")
+    comparison = run_hit_ratio_comparison(setup)
+    print(comparison.format())
+    print()
+
+    print("Figures 7 and 8: locality-awareness gains")
+    print("=========================================")
+    locality = run_locality_experiment(setup)
+    print(locality.format_figure7())
+    print()
+    print(locality.format_figure8())
+    print()
+
+    print("Summary of the paper's headline claims on this run:")
+    print(
+        f"  lookup latency reduction   : {locality.lookup_latency_speedup:.1f}x "
+        "(paper reports ~9x on its 24h PeerSim run)"
+    )
+    print(
+        f"  transfer distance reduction: {locality.transfer_distance_reduction:.1f}x "
+        "(paper reports ~2x)"
+    )
+    print(
+        f"  final hit ratio gap        : {comparison.final_gap:+.3f} in Squirrel's favour "
+        "(paper reports ~0.13 after 24h)"
+    )
+
+
+if __name__ == "__main__":
+    main()

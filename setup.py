@@ -1,0 +1,20 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so the package can be installed in editable mode on offline machines whose
+tooling lacks the ``wheel`` package (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Flower-CDN: a hybrid P2P overlay for efficient "
+        "query processing in CDN (EDBT 2009)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

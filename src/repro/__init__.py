@@ -1,0 +1,63 @@
+"""Reproduction of *Flower-CDN: A hybrid P2P overlay for Efficient Query
+Processing in CDN* (El Dick, Pacitti, Kemme — EDBT 2009).
+
+The package is organised bottom-up:
+
+* :mod:`repro.sim` — discrete-event simulation engine (PeerSim substitute);
+* :mod:`repro.network` — latency topology and landmark-based localities;
+* :mod:`repro.datastructures` — Bloom filters, aged views, LRU caches;
+* :mod:`repro.overlay` — Chord DHT substrate and key-based routing;
+* :mod:`repro.workload` — synthetic Zipf query workload and traces;
+* :mod:`repro.core` — Flower-CDN itself (D-ring, directory peers, content
+  overlays, gossip, churn handling);
+* :mod:`repro.baselines` — the Squirrel comparison system;
+* :mod:`repro.metrics` — hit ratio, lookup latency, transfer distance and
+  background-traffic collectors;
+* :mod:`repro.experiments` — the harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro import ExperimentSetup, ExperimentRunner
+
+    setup = ExperimentSetup.laptop_scale(duration_s=1800, query_rate_per_s=1.0)
+    runner = ExperimentRunner(setup)
+    result = runner.run_flower()
+    print(result.hit_ratio, result.average_lookup_latency_ms)
+"""
+
+from repro.core.config import FlowerConfig, GossipConfig, MessageSizeModel
+from repro.core.system import FlowerCDN
+from repro.core.churn import ChurnConfig, ChurnInjector
+from repro.baselines.squirrel import Squirrel, SquirrelConfig, SquirrelStrategy
+from repro.experiments.driver import ExperimentRunner, ExperimentSetup, RunResult
+from repro.metrics.collectors import MetricsCollector, QueryOutcome, QueryRecord
+from repro.network.topology import Topology, TopologyConfig
+from repro.sim.engine import Simulator
+from repro.workload.generator import Query, QueryGenerator, WorkloadConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FlowerConfig",
+    "GossipConfig",
+    "MessageSizeModel",
+    "FlowerCDN",
+    "ChurnConfig",
+    "ChurnInjector",
+    "Squirrel",
+    "SquirrelConfig",
+    "SquirrelStrategy",
+    "ExperimentRunner",
+    "ExperimentSetup",
+    "RunResult",
+    "MetricsCollector",
+    "QueryOutcome",
+    "QueryRecord",
+    "Topology",
+    "TopologyConfig",
+    "Simulator",
+    "Query",
+    "QueryGenerator",
+    "WorkloadConfig",
+    "__version__",
+]

@@ -1,0 +1,161 @@
+"""Command-line interface for running Flower-CDN experiments.
+
+Usage (after installation)::
+
+    python -m repro.cli run        [options]   # one Flower-CDN run, headline metrics
+    python -m repro.cli compare    [options]   # Flower-CDN vs Squirrel on the same trace
+    python -m repro.cli sweep      [options]   # the Table 2 gossip sweeps
+    python -m repro.cli churn      [options]   # churn ablation (Section 5 mechanisms)
+
+All commands accept the scale options (``--duration-hours``, ``--query-rate``,
+``--websites``, ``--active-websites``, ``--objects``, ``--localities``,
+``--overlay-size``, ``--hosts``, ``--seed``); ``--paper-scale`` switches to the
+full Table 1 configuration instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.churn import ChurnConfig
+from repro.core.config import HOUR, MINUTE
+from repro.experiments.comparison import run_hit_ratio_comparison
+from repro.experiments.churn import run_churn_experiment
+from repro.experiments.driver import ExperimentRunner, ExperimentSetup
+from repro.experiments.gossip_tradeoff import (
+    format_sweep,
+    run_gossip_length_sweep,
+    run_gossip_period_sweep,
+    run_view_size_sweep,
+)
+from repro.experiments.locality import run_locality_experiment
+from repro.metrics.report import format_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Flower-CDN (EDBT 2009) reproduction: experiment runner",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, help_text in (
+        ("run", "run Flower-CDN once and print the headline metrics"),
+        ("compare", "run Flower-CDN and Squirrel on the same trace (Figures 6-8)"),
+        ("sweep", "run the Table 2 gossip parameter sweeps"),
+        ("churn", "run the churn ablation (Section 5 mechanisms)"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        _add_scale_options(sub)
+    return parser
+
+
+def _add_scale_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="use the paper's full Table 1 configuration (slow)")
+    parser.add_argument("--duration-hours", type=float, default=3.0)
+    parser.add_argument("--query-rate", type=float, default=2.0)
+    parser.add_argument("--websites", type=int, default=20)
+    parser.add_argument("--active-websites", type=int, default=2)
+    parser.add_argument("--objects", type=int, default=200)
+    parser.add_argument("--localities", type=int, default=3)
+    parser.add_argument("--overlay-size", type=int, default=40)
+    parser.add_argument("--hosts", type=int, default=600)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def setup_from_args(args: argparse.Namespace) -> ExperimentSetup:
+    if args.paper_scale:
+        return ExperimentSetup.paper_scale(seed=args.seed)
+    return ExperimentSetup.laptop_scale(
+        seed=args.seed,
+        duration_s=args.duration_hours * HOUR,
+        query_rate_per_s=args.query_rate,
+        num_websites=args.websites,
+        active_websites=args.active_websites,
+        objects_per_website=args.objects,
+        num_localities=args.localities,
+        max_content_overlay_size=args.overlay_size,
+        num_hosts=args.hosts,
+    )
+
+
+# -- subcommands ------------------------------------------------------------------------
+
+
+def _command_run(setup: ExperimentSetup, out) -> int:
+    result = ExperimentRunner(setup).run_flower()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("queries", result.num_queries),
+                ("hit ratio", result.hit_ratio),
+                ("avg lookup latency (ms)", result.average_lookup_latency_ms),
+                ("avg transfer distance (ms)", result.average_transfer_distance_ms),
+                ("background traffic (bps/peer)", result.background_bps_per_peer),
+                ("redirection failures", result.redirection_failures),
+            ],
+            title="Flower-CDN run",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _command_compare(setup: ExperimentSetup, out) -> int:
+    comparison = run_hit_ratio_comparison(setup)
+    print(comparison.format(), file=out)
+    print(file=out)
+    locality = run_locality_experiment(setup)
+    print(locality.format_figure7(), file=out)
+    print(file=out)
+    print(locality.format_figure8(), file=out)
+    return 0
+
+
+def _command_sweep(setup: ExperimentSetup, out) -> int:
+    print(format_sweep(run_gossip_length_sweep(setup), "Table 2(a): varying Lgossip"), file=out)
+    print(file=out)
+    print(
+        format_sweep(
+            run_gossip_period_sweep(setup, values=(1 * MINUTE, 30 * MINUTE, 1 * HOUR)),
+            "Table 2(b): varying Tgossip",
+        ),
+        file=out,
+    )
+    print(file=out)
+    print(format_sweep(run_view_size_sweep(setup), "Table 2(c): varying Vgossip"), file=out)
+    return 0
+
+
+def _command_churn(setup: ExperimentSetup, out) -> int:
+    result = run_churn_experiment(
+        setup,
+        churn=ChurnConfig(
+            content_failures_per_hour=30.0,
+            directory_failures_per_hour=3.0,
+            locality_changes_per_hour=6.0,
+        ),
+    )
+    print(result.format(), file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    setup = setup_from_args(args)
+    handlers = {
+        "run": _command_run,
+        "compare": _command_compare,
+        "sweep": _command_sweep,
+        "churn": _command_churn,
+    }
+    return handlers[args.command](setup, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    raise SystemExit(main())

@@ -1,0 +1,155 @@
+"""Churn and failure injection (Section 5).
+
+The paper handles three forms of dynamicity: content-peer failures/leaves
+(detected by ageing and keepalives, Section 5.1), directory failures/leaves
+(repaired by the replacement protocol, Section 5.2) and locality changes
+(Section 5.4).  :class:`ChurnInjector` drives all three against a running
+:class:`~repro.core.system.FlowerCDN` on a configurable schedule so the churn
+ablation benchmark and the resilience example can measure their impact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.system import FlowerCDN
+from repro.sim.process import PeriodicProcess
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Rates of the different churn events.
+
+    All rates are events per hour over the whole system; an event picks its
+    victim uniformly among the eligible peers.
+    """
+
+    content_failures_per_hour: float = 0.0
+    directory_failures_per_hour: float = 0.0
+    locality_changes_per_hour: float = 0.0
+    #: how often the injector wakes up to decide whether to inject events
+    tick_period_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "content_failures_per_hour",
+            "directory_failures_per_hour",
+            "locality_changes_per_hour",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.tick_period_s <= 0:
+            raise ValueError("tick_period_s must be positive")
+
+    @property
+    def is_enabled(self) -> bool:
+        return (
+            self.content_failures_per_hour > 0
+            or self.directory_failures_per_hour > 0
+            or self.locality_changes_per_hour > 0
+        )
+
+
+@dataclass
+class ChurnLogEntry:
+    """One injected churn event (for diagnostics and assertions in tests)."""
+
+    time: float
+    kind: str
+    target: str
+
+
+class ChurnInjector:
+    """Injects failures, leaves and locality changes into a running system."""
+
+    def __init__(self, system: FlowerCDN, config: ChurnConfig) -> None:
+        self._system = system
+        self._config = config
+        self._process: Optional[PeriodicProcess] = None
+        self.log: List[ChurnLogEntry] = []
+
+    @property
+    def config(self) -> ChurnConfig:
+        return self._config
+
+    @property
+    def events_injected(self) -> int:
+        return len(self.log)
+
+    def start(self) -> None:
+        """Begin injecting events on the configured tick period."""
+        if not self._config.is_enabled or self._process is not None:
+            return
+        self._process = PeriodicProcess(
+            self._system.sim,
+            self._config.tick_period_s,
+            self._tick,
+            name="churn-injector",
+            jitter_stream="churn:jitter",
+        )
+        self._process.start()
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.stop()
+            self._process = None
+
+    # -- injection -----------------------------------------------------------
+
+    def _events_this_tick(self, rate_per_hour: float) -> int:
+        """Sample how many events of a given kind happen during one tick."""
+        expected = rate_per_hour * self._config.tick_period_s / 3600.0
+        count = int(expected)
+        remainder = expected - count
+        if self._system.sim.streams.random("churn:fraction") < remainder:
+            count += 1
+        return count
+
+    def _tick(self) -> None:
+        sim = self._system.sim
+        for _ in range(self._events_this_tick(self._config.content_failures_per_hour)):
+            victim = self._pick_content_peer()
+            if victim is not None and self._system.fail_content_peer(victim):
+                self.log.append(ChurnLogEntry(time=sim.now, kind="content_failure", target=victim))
+        for _ in range(self._events_this_tick(self._config.directory_failures_per_hour)):
+            pair = self._pick_directory_pair()
+            if pair is not None and self._system.fail_directory(*pair):
+                self.log.append(
+                    ChurnLogEntry(time=sim.now, kind="directory_failure", target=f"{pair}")
+                )
+        for _ in range(self._events_this_tick(self._config.locality_changes_per_hour)):
+            victim = self._pick_content_peer()
+            if victim is None:
+                continue
+            new_locality = sim.streams.randint(
+                "churn:locality", 0, self._system.config.num_localities - 1
+            )
+            moved = self._system.change_locality(victim, new_locality)
+            if moved is not None:
+                self.log.append(
+                    ChurnLogEntry(time=sim.now, kind="locality_change", target=victim)
+                )
+
+    def _pick_content_peer(self) -> Optional[str]:
+        alive = [
+            peer_id
+            for peer_id, peer in self._system._content_peers.items()  # noqa: SLF001
+            if peer.alive
+        ]
+        if not alive:
+            return None
+        return self._system.sim.streams.choice("churn:victim", sorted(alive))
+
+    def _pick_directory_pair(self) -> Optional[tuple[str, int]]:
+        pairs = [
+            (website, locality)
+            for (website, locality), peer_id in sorted(
+                self._system._directory_by_pair.items()  # noqa: SLF001
+            )
+            if (directory := self._system.directory_peer(peer_id)) is not None and directory.alive
+            and self._system.overlay_members(website, locality)
+        ]
+        if not pairs:
+            return None
+        return self._system.sim.streams.choice("churn:dir-victim", pairs)

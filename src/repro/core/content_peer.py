@@ -1,0 +1,269 @@
+"""Content peers and the gossip protocol of the content overlays.
+
+A content peer ``c(ws, loc)`` stores objects of website ``ws`` it has
+requested, summarises them with a Bloom filter and maintains a bounded
+partial *view* of its content overlay whose entries carry the partner's
+content summary and an age (Section 4.2).  This module implements:
+
+* the peer's local state (content list, view, directory-peer entry);
+* Algorithm 4 — the active and passive gossip behaviour;
+* Algorithm 5 — the push behaviour towards the directory peer;
+* local query resolution over the view summaries (Section 4.1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.config import FlowerConfig
+from repro.datastructures.aged_view import AgedEntry, AgedView
+from repro.datastructures.bloom import BloomFilter
+from repro.datastructures.lru import LRUCache
+from repro.workload.catalog import ObjectId
+
+
+@dataclass(frozen=True)
+class GossipMessage:
+    """One gossip message: the sender's current summary plus a view subset."""
+
+    sender: str
+    content_summary: BloomFilter
+    view_subset: Tuple[AgedEntry[BloomFilter], ...]
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.view_subset)
+
+
+@dataclass(frozen=True)
+class PushMessage:
+    """A one-way push of content-list changes towards the directory peer."""
+
+    sender: str
+    added: Tuple[ObjectId, ...]
+    removed: Tuple[ObjectId, ...]
+
+    @property
+    def num_changes(self) -> int:
+        return len(self.added) + len(self.removed)
+
+
+@dataclass
+class ContentPeer:
+    """State and behaviour of one content peer ``c(ws, loc)``."""
+
+    peer_id: str
+    host_id: int
+    website: str
+    locality: int
+    config: FlowerConfig
+    directory_peer_id: Optional[str] = None
+
+    # internal state -----------------------------------------------------------
+    _objects: Set[ObjectId] = field(default_factory=set, init=False, repr=False)
+    _cache: Optional[LRUCache] = field(default=None, init=False, repr=False)
+    _view: AgedView = field(init=False, repr=False)
+    _directory_age: int = field(default=0, init=False, repr=False)
+    _pending_added: Set[ObjectId] = field(default_factory=set, init=False, repr=False)
+    _pending_removed: Set[ObjectId] = field(default_factory=set, init=False, repr=False)
+    _summary_cache: Optional[BloomFilter] = field(default=None, init=False, repr=False)
+    alive: bool = field(default=True, init=False)
+    #: statistics used by tests and experiment diagnostics
+    gossip_initiated: int = field(default=0, init=False)
+    gossip_received: int = field(default=0, init=False)
+    pushes_sent: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self._view = AgedView(capacity=self.config.gossip.view_size)
+        if self.config.content_cache_capacity is not None:
+            self._cache = LRUCache(self.config.content_cache_capacity)
+
+    # -- content management -------------------------------------------------
+
+    @property
+    def objects(self) -> Set[ObjectId]:
+        return set(self._objects)
+
+    @property
+    def num_objects(self) -> int:
+        return len(self._objects)
+
+    def has_object(self, object_id: ObjectId) -> bool:
+        return object_id in self._objects
+
+    def store_object(self, object_id: ObjectId) -> None:
+        """Keep a copy of a served object; records the change for the next push."""
+        if object_id in self._objects:
+            return
+        if self._cache is not None:
+            evicted = self._cache.put(object_id, True)
+            if evicted is not None:
+                evicted_id = evicted[0]
+                self._objects.discard(evicted_id)
+                self._record_change(removed=evicted_id)
+        self._objects.add(object_id)
+        self._record_change(added=object_id)
+
+    def drop_object(self, object_id: ObjectId) -> None:
+        if object_id not in self._objects:
+            return
+        self._objects.discard(object_id)
+        if self._cache is not None:
+            self._cache.remove(object_id)
+        self._record_change(removed=object_id)
+
+    def _record_change(
+        self, added: Optional[ObjectId] = None, removed: Optional[ObjectId] = None
+    ) -> None:
+        self._summary_cache = None
+        if added is not None:
+            self._pending_removed.discard(added)
+            self._pending_added.add(added)
+        if removed is not None:
+            self._pending_added.discard(removed)
+            self._pending_removed.add(removed)
+
+    def content_summary(self) -> BloomFilter:
+        """The current content summary (a Bloom filter of all stored object IDs).
+
+        The filter is rebuilt lazily: it is cached until the content list
+        changes, which keeps frequent gossip rounds cheap.
+        """
+        if self._summary_cache is None:
+            self._summary_cache = BloomFilter.from_items(
+                self._objects, num_bits=self.config.summary_bits
+            )
+        return self._summary_cache
+
+    # -- view management ------------------------------------------------------
+
+    @property
+    def view(self) -> AgedView:
+        return self._view
+
+    @property
+    def view_contacts(self) -> Sequence[str]:
+        return self._view.contacts()
+
+    def initialize_view(self, entries: Iterable[AgedEntry[BloomFilter]]) -> None:
+        """Seed the view from the serving peer's view or the directory index.
+
+        Per Section 4.2, the view of a joining peer is a subset of either the
+        serving content peer's view (with summaries) or the directory index
+        (addresses only — summaries fill in through later gossip).
+        """
+        self._view.merge(entries, self_contact=self.peer_id)
+
+    def note_directory(self, directory_peer_id: str) -> None:
+        """Track the current directory peer of the overlay (special view entry)."""
+        self.directory_peer_id = directory_peer_id
+        self._directory_age = 0
+
+    def increment_ages(self) -> None:
+        """The periodic (per ``Tgossip``) ageing of every view entry."""
+        self._view.increment_ages()
+        self._directory_age += 1
+
+    @property
+    def directory_age(self) -> int:
+        return self._directory_age
+
+    # -- local query resolution (Section 4.1) ------------------------------------
+
+    def resolve_locally(self, object_id: ObjectId) -> List[str]:
+        """Contacts whose gossiped summaries may hold ``object_id``, best first.
+
+        The peer's own storage is checked by the caller; this method only
+        consults the view.  Candidates are ordered youngest entry first since
+        fresher summaries are less likely to be stale.
+        """
+        candidates = [
+            entry
+            for entry in self._view.entries()
+            if entry.payload is not None and entry.payload.might_contain(object_id)
+        ]
+        candidates.sort(key=lambda entry: (entry.age, entry.contact))
+        return [entry.contact for entry in candidates]
+
+    # -- Algorithm 4: gossip behaviour ----------------------------------------------
+
+    def select_gossip_partner(self) -> Optional[str]:
+        """The oldest contact in the view (active behaviour's partner choice)."""
+        oldest = self._view.select_oldest()
+        return oldest.contact if oldest else None
+
+    def build_gossip_message(self, rng: Optional[random.Random] = None) -> GossipMessage:
+        """Build the message sent in an exchange: own summary + ``Lgossip`` entries."""
+        subset = self._view.select_subset(self.config.gossip.gossip_length, rng=rng)
+        return GossipMessage(
+            sender=self.peer_id,
+            content_summary=self.content_summary(),
+            view_subset=tuple(subset),
+        )
+
+    def apply_gossip(self, message: GossipMessage) -> None:
+        """Merge a partner's message into the view (both active and passive paths).
+
+        The partner's own entry is written unconditionally (age 0, current
+        summary) as in Algorithm 4's ``viewEntry`` step; the forwarded view
+        subset goes through the duplicate-resolving merge.
+        """
+        self._view.merge(message.view_subset, self_contact=self.peer_id)
+        if message.sender != self.peer_id:
+            self._view.put(
+                AgedEntry(contact=message.sender, age=0, payload=message.content_summary)
+            )
+
+    def handle_gossip(
+        self, message: GossipMessage, rng: Optional[random.Random] = None
+    ) -> GossipMessage:
+        """Passive behaviour: receive a gossip message and answer with our own."""
+        reply = self.build_gossip_message(rng=rng)
+        self.apply_gossip(message)
+        self.gossip_received += 1
+        return reply
+
+    # -- Algorithm 5: push behaviour ---------------------------------------------------
+
+    def pending_change_fraction(self) -> float:
+        """Fraction of the content list affected by unpushed changes."""
+        if not self._objects and not self._pending_removed:
+            return 0.0
+        base = max(1, len(self._objects))
+        return (len(self._pending_added) + len(self._pending_removed)) / base
+
+    def needs_push(self) -> bool:
+        """True when the accumulated changes reach the push threshold."""
+        changes = len(self._pending_added) + len(self._pending_removed)
+        if changes == 0:
+            return False
+        return self.pending_change_fraction() >= self.config.gossip.push_threshold
+
+    def build_push(self) -> PushMessage:
+        """Extract the delta list and reset the change counter (Algorithm 5)."""
+        push = PushMessage(
+            sender=self.peer_id,
+            added=tuple(sorted(self._pending_added)),
+            removed=tuple(sorted(self._pending_removed)),
+        )
+        self._pending_added.clear()
+        self._pending_removed.clear()
+        self._directory_age = 0
+        self.pushes_sent += 1
+        return push
+
+    # -- failure handling ------------------------------------------------------------
+
+    def forget_contact(self, peer_id: str) -> None:
+        """Drop a contact detected as dead (or having changed locality)."""
+        self._view.remove(peer_id)
+        if self.directory_peer_id == peer_id:
+            self.directory_peer_id = None
+
+    def fail(self) -> None:
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True

@@ -1,0 +1,256 @@
+"""Directory peers: directory index, directory summaries and Algorithm 3.
+
+A directory peer ``d(ws, loc)`` has a *complete view* of its content overlay,
+the directory index: one entry per content peer carrying its address, an age
+(for failure detection) and the list of object identifiers it holds.  It also
+keeps Bloom-filter *directory summaries* of the indexes of the neighbouring
+directory peers of the same website and answers queries with Algorithm 3:
+index lookup → summary lookup → origin server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.config import FlowerConfig
+from repro.core.content_peer import PushMessage
+from repro.datastructures.bloom import BloomFilter
+from repro.workload.catalog import ObjectId
+
+
+@dataclass
+class DirectoryEntry:
+    """One directory-index entry: a content peer, its age and its object list."""
+
+    peer_id: str
+    age: int = 0
+    objects: Set[ObjectId] = field(default_factory=set)
+
+    def refresh(self) -> None:
+        self.age = 0
+
+
+@dataclass
+class RedirectionDecision:
+    """Outcome of Algorithm 3 at one directory peer."""
+
+    #: "content_peer", "directory_peer" or "server"
+    kind: str
+    target: Optional[str] = None
+
+
+@dataclass
+class DirectoryPeer:
+    """State and behaviour of a directory peer ``d(ws, loc)``."""
+
+    peer_id: str
+    host_id: int
+    website: str
+    locality: int
+    node_id: int
+    config: FlowerConfig
+
+    _index: Dict[str, DirectoryEntry] = field(default_factory=dict, init=False, repr=False)
+    _summaries: Dict[str, BloomFilter] = field(default_factory=dict, init=False, repr=False)
+    #: per-object query counts, used by the active-replication extension to
+    #: decide which objects are popular enough to push to other overlays
+    _request_counts: Dict[ObjectId, int] = field(default_factory=dict, init=False, repr=False)
+    #: objects added to the index since the last summary refresh we sent out
+    _unpublished_objects: Set[ObjectId] = field(default_factory=set, init=False, repr=False)
+    _published_object_count: int = field(default=0, init=False, repr=False)
+    alive: bool = field(default=True, init=False)
+    #: statistics
+    queries_processed: int = field(default=0, init=False)
+    pushes_received: int = field(default=0, init=False)
+    summaries_sent: int = field(default=0, init=False)
+
+    # -- directory index -------------------------------------------------------
+
+    @property
+    def index_size(self) -> int:
+        return len(self._index)
+
+    @property
+    def is_full(self) -> bool:
+        """True once the content overlay reached its maximum size ``Sco``."""
+        return len(self._index) >= self.config.max_content_overlay_size
+
+    def members(self) -> Sequence[str]:
+        return tuple(self._index)
+
+    def entry(self, peer_id: str) -> Optional[DirectoryEntry]:
+        return self._index.get(peer_id)
+
+    def indexed_objects(self) -> Set[ObjectId]:
+        """Union of all object identifiers listed in the directory index."""
+        objects: Set[ObjectId] = set()
+        for entry in self._index.values():
+            objects.update(entry.objects)
+        return objects
+
+    def register_client(self, peer_id: str, object_id: Optional[ObjectId] = None) -> bool:
+        """Optimistically add a new content peer after serving its query (Section 3.4).
+
+        Returns ``False`` when the overlay is full and the peer was not added.
+        """
+        if peer_id in self._index:
+            if object_id is not None:
+                self._record_objects(self._index[peer_id], [object_id])
+            self._index[peer_id].refresh()
+            return True
+        if self.is_full:
+            return False
+        entry = DirectoryEntry(peer_id=peer_id, age=0)
+        if object_id is not None:
+            self._record_objects(entry, [object_id])
+        self._index[peer_id] = entry
+        return True
+
+    def _record_objects(self, entry: DirectoryEntry, objects: Sequence[ObjectId]) -> None:
+        for object_id in objects:
+            if object_id not in entry.objects:
+                entry.objects.add(object_id)
+                self._unpublished_objects.add(object_id)
+
+    def remove_client(self, peer_id: str) -> bool:
+        """Drop a content peer (failed, departed or changed locality)."""
+        return self._index.pop(peer_id, None) is not None
+
+    # -- Algorithm 6: directory behaviour ----------------------------------------
+
+    def handle_push(self, push: PushMessage) -> None:
+        """Update the index entry of the pushing content peer from its delta list."""
+        entry = self._index.get(push.sender)
+        if entry is None:
+            if self.is_full:
+                return
+            entry = DirectoryEntry(peer_id=push.sender, age=0)
+            self._index[push.sender] = entry
+        self._record_objects(entry, push.added)
+        for object_id in push.removed:
+            entry.objects.discard(object_id)
+        entry.refresh()
+        self.pushes_received += 1
+
+    def handle_keepalive(self, peer_id: str) -> None:
+        entry = self._index.get(peer_id)
+        if entry is not None:
+            entry.refresh()
+
+    def increment_ages(self) -> None:
+        for entry in self._index.values():
+            entry.age += 1
+
+    def evict_dead_entries(self) -> List[str]:
+        """Remove entries whose age exceeded ``Tdead`` (Section 5.1)."""
+        dead = [
+            peer_id
+            for peer_id, entry in self._index.items()
+            if entry.age > self.config.gossip.dead_age
+        ]
+        for peer_id in dead:
+            del self._index[peer_id]
+        return dead
+
+    # -- directory summaries ----------------------------------------------------------
+
+    def build_summary(self) -> BloomFilter:
+        """A Bloom filter over every object identifier in the directory index."""
+        return BloomFilter.from_items(self.indexed_objects(), num_bits=self.config.summary_bits)
+
+    def should_refresh_summary(self) -> bool:
+        """Delayed propagation rule: refresh when enough *new* objects accumulated."""
+        if not self._unpublished_objects:
+            return False
+        base = max(1, self._published_object_count)
+        return len(self._unpublished_objects) / base >= self.config.gossip.push_threshold
+
+    def publish_summary(self) -> BloomFilter:
+        """Build a fresh summary and mark the current index content as published."""
+        summary = self.build_summary()
+        self._published_object_count = len(self.indexed_objects())
+        self._unpublished_objects.clear()
+        self.summaries_sent += 1
+        return summary
+
+    def store_neighbor_summary(self, neighbor_peer_id: str, summary: BloomFilter) -> None:
+        self._summaries[neighbor_peer_id] = summary
+
+    def neighbor_summaries(self) -> Dict[str, BloomFilter]:
+        return dict(self._summaries)
+
+    def drop_neighbor(self, neighbor_peer_id: str) -> None:
+        self._summaries.pop(neighbor_peer_id, None)
+
+    # -- Algorithm 3: query processing -----------------------------------------------
+
+    def lookup_index(self, object_id: ObjectId) -> List[str]:
+        """Content peers of this overlay whose index entry lists ``object_id``.
+
+        Results are ordered youngest entry first, so redirections prefer peers
+        heard from recently (fewer redirection failures under churn).
+        """
+        holders = [
+            (entry.age, peer_id)
+            for peer_id, entry in self._index.items()
+            if object_id in entry.objects
+        ]
+        holders.sort()
+        return [peer_id for _, peer_id in holders]
+
+    def lookup_summaries(self, object_id: ObjectId) -> List[str]:
+        """Neighbouring directory peers whose summary may contain ``object_id``."""
+        return sorted(
+            neighbor
+            for neighbor, summary in self._summaries.items()
+            if summary.might_contain(object_id)
+        )
+
+    def process_query(
+        self, object_id: ObjectId, exclude: Tuple[str, ...] = ()
+    ) -> RedirectionDecision:
+        """Algorithm 3: decide where to redirect a query for ``object_id``.
+
+        ``exclude`` lists targets already tried (redirection failures or the
+        directory peers the query already visited) so retries make progress.
+        """
+        self.queries_processed += 1
+        self._request_counts[object_id] = self._request_counts.get(object_id, 0) + 1
+        excluded = set(exclude)
+        for holder in self.lookup_index(object_id):
+            if holder not in excluded:
+                return RedirectionDecision(kind="content_peer", target=holder)
+        for neighbor in self.lookup_summaries(object_id):
+            if neighbor not in excluded:
+                return RedirectionDecision(kind="directory_peer", target=neighbor)
+        return RedirectionDecision(kind="server", target=None)
+
+    # -- popularity (active-replication extension) ---------------------------------------
+
+    def record_request(self, object_id: ObjectId) -> None:
+        """Count a request observed for ``object_id`` (popularity tracking)."""
+        self._request_counts[object_id] = self._request_counts.get(object_id, 0) + 1
+
+    def request_count(self, object_id: ObjectId) -> int:
+        return self._request_counts.get(object_id, 0)
+
+    def popular_objects(self, top_k: int) -> List[ObjectId]:
+        """The ``top_k`` most requested objects this directory has seen."""
+        if top_k <= 0:
+            return []
+        ranked = sorted(self._request_counts.items(), key=lambda item: (-item[1], item[0]))
+        return [object_id for object_id, _ in ranked[:top_k]]
+
+    # -- failure ---------------------------------------------------------------------
+
+    def fail(self) -> None:
+        self.alive = False
+
+    def export_state(self) -> Dict[str, DirectoryEntry]:
+        """Hand over the directory index (voluntary-leave replacement, Section 5.2)."""
+        return {peer_id: entry for peer_id, entry in self._index.items()}
+
+    def import_state(self, index: Dict[str, DirectoryEntry]) -> None:
+        self._index = dict(index)
+        self._unpublished_objects.update(self.indexed_objects())

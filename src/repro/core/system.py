@@ -1,0 +1,743 @@
+"""The Flower-CDN system: D-ring + content overlays on the simulation substrate.
+
+:class:`FlowerCDN` wires everything together:
+
+* at bootstrap it places one directory peer per (website, locality) pair on
+  the D-ring ("experiments start with a stable D-ring ... with an empty
+  directory", Section 6.1) and starts their periodic maintenance;
+* :meth:`FlowerCDN.handle_query` processes one client query end to end —
+  either through the D-ring (new clients, Section 3.4) or inside the client's
+  content overlay (existing content peers, Section 4.1) — and returns the
+  :class:`~repro.metrics.collectors.QueryRecord` the evaluation needs;
+* content peers created on the way are given periodic gossip and keepalive
+  processes (Algorithms 4 and 5), whose traffic is charged to the
+  :class:`~repro.metrics.collectors.BandwidthAccountant`;
+* directory failures are repaired with the replacement protocol of
+  Section 5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.config import FlowerConfig
+from repro.core.content_peer import ContentPeer, PushMessage
+from repro.core.directory_peer import DirectoryPeer
+from repro.core.dring import DRing
+from repro.core.keys import KeyScheme
+from repro.datastructures.aged_view import AgedEntry
+from repro.metrics.collectors import (
+    BandwidthAccountant,
+    MetricsCollector,
+    QueryOutcome,
+    QueryRecord,
+)
+from repro.network.latency import LatencyModel
+from repro.network.topology import Topology
+from repro.overlay.pastry import PastryRing
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.workload.assignment import ResolvedQuery
+from repro.workload.catalog import Catalog, ObjectId
+
+
+@dataclass
+class _DirectoryFlowResult:
+    """Internal result of running Algorithm 3 from a starting directory peer."""
+
+    outcome: QueryOutcome
+    provider: Optional[str]
+    provider_host: Optional[int]
+    latency_ms: float
+    redirection_failures: int
+    serving_directory: Optional[str]
+
+
+@dataclass
+class OverlayStats:
+    """Diagnostic snapshot of one content overlay."""
+
+    website: str
+    locality: int
+    num_content_peers: int
+    directory_peer: Optional[str]
+    directory_index_size: int
+    unique_objects_indexed: int
+
+
+class FlowerCDN:
+    """A complete simulated Flower-CDN deployment."""
+
+    def __init__(
+        self,
+        config: FlowerConfig,
+        sim: Simulator,
+        topology: Topology,
+        latency_model: Optional[LatencyModel] = None,
+        catalog: Optional[Catalog] = None,
+    ) -> None:
+        self.config = config
+        self.sim = sim
+        self.topology = topology
+        self.latency = latency_model or LatencyModel(topology)
+        self.catalog = catalog or Catalog.synthetic(
+            config.num_websites, config.objects_per_website
+        )
+        self.keys = KeyScheme(config.website_bits, config.locality_bits)
+        if config.dht_substrate == "pastry":
+            substrate = PastryRing(self.keys.idspace)
+        else:
+            substrate = None  # DRing defaults to Chord, as in the paper's evaluation
+        self.dring = DRing(self.keys, latency_callback=self._peer_latency, ring=substrate)
+        self.metrics = MetricsCollector(window_s=config.metrics_window_s)
+        self.bandwidth = BandwidthAccountant(window_s=config.metrics_window_s)
+
+        self._directory_peers: Dict[str, DirectoryPeer] = {}
+        self._directory_by_pair: Dict[Tuple[str, int], str] = {}
+        self._content_peers: Dict[str, ContentPeer] = {}
+        self._overlay_members: Dict[Tuple[str, int], List[str]] = {}
+        self._content_by_host: Dict[Tuple[str, int], str] = {}
+        self._reserved_hosts: Set[int] = set()
+        self._processes: Dict[str, List[PeriodicProcess]] = {}
+        self._bootstrapped = False
+        #: statistics
+        self.directory_replacements = 0
+
+    # ------------------------------------------------------------------ utils
+
+    def _peer_latency(self, peer_a: str, peer_b: str) -> float:
+        return self.latency.latency_ms(peer_a, peer_b)
+
+    def _host_latency(self, host_a: int, host_b: int) -> float:
+        return self.topology.latency_ms(host_a, host_b)
+
+    @property
+    def reserved_hosts(self) -> Set[int]:
+        """Hosts used by directory peers (unavailable for client assignment)."""
+        return set(self._reserved_hosts)
+
+    @property
+    def num_content_peers(self) -> int:
+        return len(self._content_peers)
+
+    @property
+    def num_directory_peers(self) -> int:
+        return len(self._directory_peers)
+
+    def content_peer(self, peer_id: str) -> Optional[ContentPeer]:
+        return self._content_peers.get(peer_id)
+
+    def directory_peer(self, peer_id: str) -> Optional[DirectoryPeer]:
+        return self._directory_peers.get(peer_id)
+
+    def directory_for(self, website: str, locality: int) -> Optional[DirectoryPeer]:
+        peer_id = self._directory_by_pair.get((website, locality))
+        return self._directory_peers.get(peer_id) if peer_id else None
+
+    def overlay_members(self, website: str, locality: int) -> List[str]:
+        return list(self._overlay_members.get((website, locality), ()))
+
+    def overlay_stats(self, website: str, locality: int) -> OverlayStats:
+        directory = self.directory_for(website, locality)
+        return OverlayStats(
+            website=website,
+            locality=locality,
+            num_content_peers=len(self._overlay_members.get((website, locality), ())),
+            directory_peer=directory.peer_id if directory else None,
+            directory_index_size=directory.index_size if directory else 0,
+            unique_objects_indexed=len(directory.indexed_objects()) if directory else 0,
+        )
+
+    # ------------------------------------------------------------------ bootstrap
+
+    def bootstrap(self) -> None:
+        """Create the stable D-ring: one directory peer per (website, locality)."""
+        if self._bootstrapped:
+            raise RuntimeError("FlowerCDN.bootstrap() may only be called once")
+        self._bootstrapped = True
+        host_cursor: Dict[int, int] = {loc: 0 for loc in range(self.config.num_localities)}
+        # Batch the initial joins: stabilise the D-ring once at the end instead
+        # of after every single directory peer (equivalent result, much cheaper).
+        self.dring.ring.auto_stabilize = False
+        try:
+            for website in self.catalog:
+                for locality in range(self.config.num_localities):
+                    host_id = self._next_directory_host(locality, host_cursor)
+                    self._create_directory_peer(website.name, locality, host_id)
+        finally:
+            self.dring.ring.auto_stabilize = True
+            self.dring.ring.stabilize()
+
+    def _next_directory_host(self, locality: int, cursor: Dict[int, int]) -> int:
+        hosts = self.topology.hosts_in_locality(locality)
+        if not hosts:
+            raise RuntimeError(f"locality {locality} has no hosts in the topology")
+        index = cursor[locality]
+        if index >= len(hosts):
+            raise RuntimeError(
+                f"locality {locality} has only {len(hosts)} hosts but more directory peers "
+                "are required; enlarge the topology or reduce the number of websites"
+            )
+        cursor[locality] = index + 1
+        host_id = hosts[index]
+        return host_id
+
+    def _create_directory_peer(
+        self, website: str, locality: int, host_id: int, generation: int = 0
+    ) -> DirectoryPeer:
+        peer_id = f"d({website},{locality})#{generation}"
+        self.latency.register_peer(peer_id, host_id)
+        placement = self.dring.register_directory(website, locality, peer_id)
+        directory = DirectoryPeer(
+            peer_id=peer_id,
+            host_id=host_id,
+            website=website,
+            locality=locality,
+            node_id=placement.node_id,
+            config=self.config,
+        )
+        self._directory_peers[peer_id] = directory
+        self._directory_by_pair[(website, locality)] = peer_id
+        self._reserved_hosts.add(host_id)
+        process = PeriodicProcess(
+            self.sim,
+            self.config.gossip.gossip_period_s,
+            lambda d=directory: self._directory_tick(d),
+            name=f"dir-tick:{peer_id}",
+            jitter_stream=f"jitter:{peer_id}",
+        )
+        process.start()
+        self._processes[peer_id] = [process]
+        return directory
+
+    # ------------------------------------------------------------------ query processing
+
+    def handle_query(self, query: ResolvedQuery) -> QueryRecord:
+        """Process one client query and record its metrics."""
+        if not self._bootstrapped:
+            raise RuntimeError("call bootstrap() before handling queries")
+        peer_key = (query.website, query.client_host)
+        existing_id = self._content_by_host.get(peer_key)
+        if existing_id is not None and existing_id in self._content_peers:
+            record = self._handle_content_peer_query(self._content_peers[existing_id], query)
+        else:
+            record = self._handle_new_client_query(query)
+        self.metrics.record(record)
+        return record
+
+    # -- existing content peers (Section 4.1) -----------------------------------------
+
+    def _handle_content_peer_query(self, peer: ContentPeer, query: ResolvedQuery) -> QueryRecord:
+        object_id = query.object_id
+        if peer.has_object(object_id):
+            return QueryRecord(
+                query_id=query.query_id,
+                time=query.time,
+                website=query.website,
+                locality=query.locality,
+                outcome=QueryOutcome.LOCAL_OVERLAY_HIT,
+                lookup_latency_ms=0.0,
+                transfer_distance_ms=0.0,
+                provider=peer.peer_id,
+            )
+
+        latency = 0.0
+        failures = 0
+        candidates = peer.resolve_locally(object_id)
+        for contact in candidates[: self.config.max_redirection_attempts]:
+            provider = self._content_peers.get(contact)
+            latency += self._host_latency(peer.host_id, self._host_of_contact(contact, peer))
+            if provider is None or not provider.alive:
+                peer.forget_contact(contact)
+                failures += 1
+                continue
+            if not provider.has_object(object_id):
+                # Stale or false-positive summary: a redirection failure.
+                failures += 1
+                continue
+            distance = self._host_latency(peer.host_id, provider.host_id)
+            self._after_served(peer, object_id)
+            return QueryRecord(
+                query_id=query.query_id,
+                time=query.time,
+                website=query.website,
+                locality=query.locality,
+                outcome=QueryOutcome.LOCAL_OVERLAY_HIT,
+                lookup_latency_ms=latency,
+                transfer_distance_ms=distance,
+                provider=provider.peer_id,
+                redirection_failures=failures,
+            )
+
+        if self.config.content_miss_fallback == "directory":
+            directory = self._current_directory(query.website, query.locality, peer)
+            if directory is not None:
+                latency += self._host_latency(peer.host_id, directory.host_id)
+                flow = self._run_directory_flow(directory, object_id, query.locality)
+                latency += flow.latency_ms
+                failures += flow.redirection_failures
+                self._after_served(peer, object_id)
+                distance = (
+                    self._host_latency(peer.host_id, flow.provider_host)
+                    if flow.provider_host is not None
+                    else self.latency.server_latency_ms
+                )
+                return QueryRecord(
+                    query_id=query.query_id,
+                    time=query.time,
+                    website=query.website,
+                    locality=query.locality,
+                    outcome=flow.outcome,
+                    lookup_latency_ms=latency,
+                    transfer_distance_ms=distance,
+                    provider=flow.provider,
+                    redirection_failures=failures,
+                )
+
+        # Fall back to the origin web server.
+        latency += self.latency.server_latency_ms
+        self._after_served(peer, object_id)
+        return QueryRecord(
+            query_id=query.query_id,
+            time=query.time,
+            website=query.website,
+            locality=query.locality,
+            outcome=QueryOutcome.SERVER_MISS,
+            lookup_latency_ms=latency,
+            transfer_distance_ms=self.latency.server_latency_ms,
+            provider=None,
+            redirection_failures=failures,
+        )
+
+    def _host_of_contact(self, contact: str, fallback: ContentPeer) -> int:
+        provider = self._content_peers.get(contact)
+        if provider is not None:
+            return provider.host_id
+        if self.latency.is_registered(contact):
+            return self.latency.host_of(contact)
+        return fallback.host_id
+
+    # -- new clients (Section 3.4) ----------------------------------------------------
+
+    def _handle_new_client_query(self, query: ResolvedQuery) -> QueryRecord:
+        object_id = query.object_id
+        client_host = query.client_host
+        rng = self.sim.streams.stream("dring:bootstrap")
+
+        # 1. The query enters the D-ring at a bootstrap node and is routed to
+        #    the directory peer in charge of (website, locality).
+        bootstrap_node = self.dring.random_bootstrap_node(rng)
+        latency = 0.0
+        hops = 0
+        serving_directory: Optional[DirectoryPeer] = None
+        if bootstrap_node is not None:
+            bootstrap_placement = self.dring.placement_at(bootstrap_node)
+            if bootstrap_placement is not None:
+                latency += self._host_latency(
+                    client_host, self.latency.host_of(bootstrap_placement.peer_id)
+                )
+            placement, route = self.dring.resolve_directory(
+                query.website, query.locality, start_node_id=bootstrap_node
+            )
+            latency += route.latency_ms
+            hops = route.hops
+            if placement is not None:
+                serving_directory = self._directory_peers.get(placement.peer_id)
+
+        # 2. Algorithm 3 at the delivering directory peer.
+        if serving_directory is not None and serving_directory.alive:
+            flow = self._run_directory_flow(serving_directory, object_id, query.locality)
+            latency += flow.latency_ms
+            outcome = flow.outcome
+            provider = flow.provider
+            provider_host = flow.provider_host
+            failures = flow.redirection_failures
+        else:
+            outcome = QueryOutcome.SERVER_MISS
+            provider = None
+            provider_host = None
+            failures = 0
+            latency += self.latency.server_latency_ms
+
+        distance = (
+            self._host_latency(client_host, provider_host)
+            if provider_host is not None
+            else self.latency.server_latency_ms
+        )
+
+        # 3. The client joins its content overlay as a content peer.
+        new_peer = self._enroll_content_peer(query.website, query.locality, client_host)
+        if new_peer is not None:
+            new_peer.store_object(object_id)
+            self._register_with_directory(new_peer, object_id)
+            self._initialize_view(new_peer, provider)
+
+        return QueryRecord(
+            query_id=query.query_id,
+            time=query.time,
+            website=query.website,
+            locality=query.locality,
+            outcome=outcome,
+            lookup_latency_ms=latency,
+            transfer_distance_ms=distance,
+            overlay_hops=hops,
+            provider=provider,
+            redirection_failures=failures,
+        )
+
+    def _run_directory_flow(
+        self, start: DirectoryPeer, object_id: ObjectId, query_locality: int
+    ) -> _DirectoryFlowResult:
+        """Run Algorithm 3, possibly crossing to neighbouring directory peers."""
+        latency = 0.0
+        failures = 0
+        visited: List[str] = []
+        tried_providers: List[str] = []
+        current = start
+        for _ in range(self.config.max_redirection_attempts + len(self._directory_by_pair)):
+            visited.append(current.peer_id)
+            decision = current.process_query(object_id, exclude=tuple(visited + tried_providers))
+            if decision.kind == "content_peer" and decision.target is not None:
+                provider = self._content_peers.get(decision.target)
+                target_host = (
+                    provider.host_id if provider is not None else current.host_id
+                )
+                latency += self._host_latency(current.host_id, target_host)
+                if provider is None or not provider.alive or not provider.has_object(object_id):
+                    # Redirection failure: drop the stale entry and retry.
+                    current.remove_client(decision.target)
+                    tried_providers.append(decision.target)
+                    failures += 1
+                    continue
+                outcome = (
+                    QueryOutcome.LOCAL_OVERLAY_HIT
+                    if provider.locality == query_locality
+                    else QueryOutcome.REMOTE_OVERLAY_HIT
+                )
+                return _DirectoryFlowResult(
+                    outcome=outcome,
+                    provider=provider.peer_id,
+                    provider_host=provider.host_id,
+                    latency_ms=latency,
+                    redirection_failures=failures,
+                    serving_directory=current.peer_id,
+                )
+            if decision.kind == "directory_peer" and decision.target is not None:
+                next_directory = self._directory_peers.get(decision.target)
+                if next_directory is None or not next_directory.alive:
+                    failures += 1
+                    current.drop_neighbor(decision.target)
+                    continue
+                latency += self._host_latency(current.host_id, next_directory.host_id)
+                current = next_directory
+                continue
+            break
+
+        latency += self.latency.server_latency_ms
+        return _DirectoryFlowResult(
+            outcome=QueryOutcome.SERVER_MISS,
+            provider=None,
+            provider_host=None,
+            latency_ms=latency,
+            redirection_failures=failures,
+            serving_directory=current.peer_id,
+        )
+
+    # ------------------------------------------------------------------ membership
+
+    def _enroll_content_peer(
+        self, website: str, locality: int, host_id: int
+    ) -> Optional[ContentPeer]:
+        key = (website, locality)
+        members = self._overlay_members.setdefault(key, [])
+        if len(members) >= self.config.max_content_overlay_size:
+            return None
+        peer_id = f"c({website})@{host_id}"
+        if peer_id in self._content_peers:
+            return self._content_peers[peer_id]
+        peer = ContentPeer(
+            peer_id=peer_id,
+            host_id=host_id,
+            website=website,
+            locality=locality,
+            config=self.config,
+        )
+        directory_id = self._directory_by_pair.get(key)
+        if directory_id is not None:
+            peer.note_directory(directory_id)
+        self._content_peers[peer_id] = peer
+        self._content_by_host[(website, host_id)] = peer_id
+        members.append(peer_id)
+        self.latency.register_peer(peer_id, host_id)
+        self.bandwidth.observe_peer(self.sim.now, peer_id)
+        self._start_content_processes(peer)
+        return peer
+
+    def _start_content_processes(self, peer: ContentPeer) -> None:
+        gossip = PeriodicProcess(
+            self.sim,
+            self.config.gossip.gossip_period_s,
+            lambda p=peer: self._gossip_tick(p),
+            name=f"gossip:{peer.peer_id}",
+            jitter_stream=f"jitter:{peer.peer_id}",
+        )
+        keepalive = PeriodicProcess(
+            self.sim,
+            self.config.gossip.keepalive_period_s,
+            lambda p=peer: self._keepalive_tick(p),
+            name=f"keepalive:{peer.peer_id}",
+            jitter_stream=f"jitter:ka:{peer.peer_id}",
+        )
+        gossip.start()
+        keepalive.start()
+        self._processes[peer.peer_id] = [gossip, keepalive]
+
+    def _register_with_directory(self, peer: ContentPeer, object_id: ObjectId) -> None:
+        directory = self._current_directory(peer.website, peer.locality, peer)
+        if directory is None:
+            return
+        directory.register_client(peer.peer_id, object_id)
+        peer.note_directory(directory.peer_id)
+
+    def _initialize_view(self, peer: ContentPeer, provider_id: Optional[str]) -> None:
+        """Section 4.2: seed the new peer's view from its serving peer or directory."""
+        provider = self._content_peers.get(provider_id) if provider_id else None
+        if (
+            provider is not None
+            and provider.website == peer.website
+            and provider.locality == peer.locality
+        ):
+            entries = list(provider.view.entries())
+            entries.append(AgedEntry(contact=provider.peer_id, age=0,
+                                     payload=provider.content_summary()))
+            subset = entries[: self.config.gossip.view_size]
+            peer.initialize_view(subset)
+            return
+        directory = self.directory_for(peer.website, peer.locality)
+        if directory is None:
+            return
+        entries = [
+            AgedEntry(contact=member, age=entry.age, payload=None)
+            for member, entry in (
+                (m, directory.entry(m)) for m in directory.members()
+            )
+            if entry is not None and member != peer.peer_id
+        ]
+        peer.initialize_view(entries[: self.config.gossip.view_size])
+
+    def _current_directory(
+        self, website: str, locality: int, detector: Optional[ContentPeer] = None
+    ) -> Optional[DirectoryPeer]:
+        """The live directory peer of (website, locality), repairing it if needed."""
+        directory = self.directory_for(website, locality)
+        if directory is not None and directory.alive:
+            return directory
+        if detector is not None:
+            return self._replace_directory(website, locality, detector)
+        return None
+
+    # ------------------------------------------------------------------ maintenance
+
+    def _gossip_tick(self, peer: ContentPeer) -> None:
+        """Algorithm 4, active behaviour, plus the per-period ageing and push check."""
+        if not peer.alive:
+            return
+        peer.increment_ages()
+        partner_id = peer.select_gossip_partner()
+        if partner_id is not None:
+            partner = self._content_peers.get(partner_id)
+            if partner is None or not partner.alive:
+                peer.forget_contact(partner_id)
+            else:
+                rng = self.sim.streams.stream("gossip:subset")
+                message = peer.build_gossip_message(rng=rng)
+                reply = partner.handle_gossip(message, rng=rng)
+                peer.apply_gossip(reply)
+                peer.gossip_initiated += 1
+                size = self.config.message_sizes.gossip_message_bytes(
+                    self.config.summary_bits, self.config.gossip.gossip_length
+                )
+                self.bandwidth.record_message(
+                    self.sim.now, peer.peer_id, partner.peer_id, size, "gossip"
+                )
+                self.bandwidth.record_message(
+                    self.sim.now, partner.peer_id, peer.peer_id, size, "gossip"
+                )
+        self._maybe_push(peer)
+
+    def _maybe_push(self, peer: ContentPeer) -> None:
+        """Algorithm 5: push the delta list once the change threshold is reached."""
+        if not peer.needs_push():
+            return
+        directory = self._current_directory(peer.website, peer.locality, detector=peer)
+        if directory is None:
+            return
+        push = peer.build_push()
+        directory.handle_push(push)
+        peer.note_directory(directory.peer_id)
+        size = self.config.message_sizes.push_message_bytes(push.num_changes)
+        self.bandwidth.record_message(self.sim.now, peer.peer_id, directory.peer_id, size, "push")
+
+    def _keepalive_tick(self, peer: ContentPeer) -> None:
+        if not peer.alive:
+            return
+        directory = self._current_directory(peer.website, peer.locality, detector=peer)
+        if directory is None:
+            return
+        directory.handle_keepalive(peer.peer_id)
+        size = self.config.message_sizes.keepalive_bytes()
+        self.bandwidth.record_message(
+            self.sim.now, peer.peer_id, directory.peer_id, size, "keepalive"
+        )
+
+    def _directory_tick(self, directory: DirectoryPeer) -> None:
+        """Algorithm 6's active behaviour plus dead-entry eviction and summary refresh."""
+        if not directory.alive:
+            return
+        directory.increment_ages()
+        for dead_peer in directory.evict_dead_entries():
+            # The directory no longer redirects to peers it has not heard from.
+            del dead_peer
+        if directory.should_refresh_summary():
+            summary = directory.publish_summary()
+            size = self.config.message_sizes.summary_refresh_bytes(self.config.summary_bits)
+            for neighbor_placement in self.dring.neighbors_of(
+                directory.website, directory.locality
+            ):
+                neighbor = self._directory_peers.get(neighbor_placement.peer_id)
+                if neighbor is None or not neighbor.alive:
+                    continue
+                neighbor.store_neighbor_summary(directory.peer_id, summary.copy())
+                self.bandwidth.record_message(
+                    self.sim.now, directory.peer_id, neighbor.peer_id, size, "summary"
+                )
+
+    def _after_served(self, peer: ContentPeer, object_id: ObjectId) -> None:
+        """Progressive replication: the requester keeps the object it was served."""
+        peer.store_object(object_id)
+        self._maybe_push(peer)
+
+    # ------------------------------------------------------------------ churn API
+
+    def fail_content_peer(self, peer_id: str) -> bool:
+        """Abruptly fail a content peer (used by the churn injector)."""
+        peer = self._content_peers.get(peer_id)
+        if peer is None or not peer.alive:
+            return False
+        peer.fail()
+        for process in self._processes.pop(peer_id, []):
+            process.stop()
+        return True
+
+    def fail_directory(self, website: str, locality: int) -> bool:
+        """Abruptly fail the directory peer of (website, locality)."""
+        directory = self.directory_for(website, locality)
+        if directory is None or not directory.alive:
+            return False
+        directory.fail()
+        for process in self._processes.pop(directory.peer_id, []):
+            process.stop()
+        self.dring.remove_directory(website, locality, failed=True)
+        return True
+
+    def leave_directory(self, website: str, locality: int) -> Optional[str]:
+        """Voluntary departure: the directory hands its state to a content peer."""
+        directory = self.directory_for(website, locality)
+        if directory is None or not directory.alive:
+            return None
+        members = [
+            self._content_peers[m]
+            for m in self._overlay_members.get((website, locality), ())
+            if m in self._content_peers and self._content_peers[m].alive
+        ]
+        state = directory.export_state()
+        directory.fail()
+        for process in self._processes.pop(directory.peer_id, []):
+            process.stop()
+        self.dring.remove_directory(website, locality, failed=False)
+        if not members:
+            return None
+        successor = max(members, key=lambda p: p.num_objects)
+        replacement = self._replace_directory(website, locality, successor)
+        if replacement is not None:
+            replacement.import_state(state)
+            return replacement.peer_id
+        return None
+
+    def _replace_directory(
+        self, website: str, locality: int, detector: ContentPeer
+    ) -> Optional[DirectoryPeer]:
+        """Section 5.2: a content peer takes over the failed directory's identifier."""
+        if not detector.alive:
+            return None
+        key = (website, locality)
+        old_id = self._directory_by_pair.get(key)
+        if old_id is not None:
+            old = self._directory_peers.get(old_id)
+            if old is not None and old.alive:
+                return old  # someone else already repaired it
+            self.dring.remove_directory(website, locality, failed=True)
+        generation = self.directory_replacements + 1
+        peer_id = f"d({website},{locality})#{generation}"
+        self.latency.register_peer(peer_id, detector.host_id)
+        placement = self.dring.replace_directory(website, locality, peer_id)
+        replacement = DirectoryPeer(
+            peer_id=peer_id,
+            host_id=detector.host_id,
+            website=website,
+            locality=locality,
+            node_id=placement.node_id,
+            config=self.config,
+        )
+        # The new directory answers first queries from what its host already
+        # knows: its own content; the rest of the index rebuilds from pushes.
+        replacement.register_client(detector.peer_id)
+        replacement.handle_push(
+            PushMessage(sender=detector.peer_id, added=tuple(sorted(detector.objects)), removed=())
+        )
+        self._directory_peers[peer_id] = replacement
+        self._directory_by_pair[key] = peer_id
+        process = PeriodicProcess(
+            self.sim,
+            self.config.gossip.gossip_period_s,
+            lambda d=replacement: self._directory_tick(d),
+            name=f"dir-tick:{peer_id}",
+            jitter_stream=f"jitter:{peer_id}",
+        )
+        process.start()
+        self._processes[peer_id] = [process]
+        self.directory_replacements += 1
+        return replacement
+
+    def change_locality(self, peer_id: str, new_locality: int) -> Optional[str]:
+        """Section 5.4: a peer that changed locality re-joins as a new client there."""
+        peer = self._content_peers.get(peer_id)
+        if peer is None or not peer.alive:
+            return None
+        self.fail_content_peer(peer_id)
+        old_key = (peer.website, peer.locality)
+        if peer_id in self._overlay_members.get(old_key, []):
+            self._overlay_members[old_key].remove(peer_id)
+        self._content_by_host.pop((peer.website, peer.host_id), None)
+        directory = self.directory_for(peer.website, peer.locality)
+        if directory is not None:
+            directory.remove_client(peer_id)
+        # Drop the old identity entirely so the peer re-joins as a fresh client
+        # of its new locality (Section 5.4: "naturally joins its new overlay").
+        self._content_peers.pop(peer_id, None)
+        new_peer = self._enroll_content_peer(peer.website, new_locality, peer.host_id)
+        if new_peer is None:
+            return None
+        for object_id in peer.objects:
+            new_peer.store_object(object_id)
+        self._maybe_push(new_peer)
+        return new_peer.peer_id
+
+    # ------------------------------------------------------------------ reporting
+
+    def active_overlays(self) -> List[OverlayStats]:
+        return [
+            self.overlay_stats(website, locality)
+            for (website, locality) in sorted(self._overlay_members)
+        ]

@@ -1,0 +1,82 @@
+"""A small LRU cache.
+
+The paper assumes content peers have enough storage to never evict during an
+experiment, but it lists cache expiration and replacement policies as future
+work (Section 8).  The reproduction exposes an optional LRU replacement
+policy on content peers so the extension can be exercised by tests and the
+churn/ablation experiments.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Iterator, Optional, Tuple, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """A bounded mapping evicting the least-recently-used entry on overflow."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self._capacity = capacity
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def capacity(self) -> Optional[int]:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._data)
+
+    def keys(self) -> Tuple[K, ...]:
+        return tuple(self._data)
+
+    def get(self, key: K) -> Optional[V]:
+        """Return the value for ``key`` (marking it recently used) or ``None``."""
+        if key not in self._data:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._data.move_to_end(key)
+        return self._data[key]
+
+    def peek(self, key: K) -> Optional[V]:
+        """Return the value without affecting recency or hit statistics."""
+        return self._data.get(key)
+
+    def put(self, key: K, value: V) -> Optional[Tuple[K, V]]:
+        """Insert ``key``; returns the evicted ``(key, value)`` pair if any."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self._data[key] = value
+            return None
+        self._data[key] = value
+        if self._capacity is not None and len(self._data) > self._capacity:
+            evicted = self._data.popitem(last=False)
+            self.evictions += 1
+            return evicted
+        return None
+
+    def remove(self, key: K) -> bool:
+        return self._data.pop(key, None) is not None
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,67 @@
+"""Figure 6: hit ratio over time, Flower-CDN versus Squirrel (Section 6.3).
+
+Both systems process the exact same query trace.  The paper's observations,
+which the benchmark asserts as *shape*:
+
+* both hit ratios keep rising towards 1;
+* Squirrel converges faster because its search space is the whole overlay,
+  while Flower-CDN partitions it into content overlays;
+* at the end of the run Flower-CDN trails Squirrel by a modest margin
+  (≈13 % after 24 h in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.experiments.driver import ExperimentRunner, ExperimentSetup, RunResult
+from repro.metrics.report import format_table
+
+
+@dataclass
+class HitRatioComparison:
+    """The two Figure 6 curves and their endpoints."""
+
+    flower_curve: List[Tuple[float, float]]
+    squirrel_curve: List[Tuple[float, float]]
+    flower_final: float
+    squirrel_final: float
+    flower_run: RunResult
+    squirrel_run: RunResult
+
+    @property
+    def final_gap(self) -> float:
+        """Squirrel's final hit ratio minus Flower-CDN's (positive in the paper)."""
+        return self.squirrel_final - self.flower_final
+
+    def format(self) -> str:
+        rows = []
+        squirrel = dict(self.squirrel_curve)
+        for time, flower_value in self.flower_curve:
+            rows.append((f"{time:.0f}", flower_value, squirrel.get(time, float("nan"))))
+        table = format_table(
+            ["t(s)", "Flower-CDN hit ratio", "Squirrel hit ratio"],
+            rows,
+            title="Figure 6: cumulative hit ratio over time",
+        )
+        summary = (
+            f"final hit ratio: Flower-CDN={self.flower_final:.3f}, "
+            f"Squirrel={self.squirrel_final:.3f}, gap={self.final_gap:+.3f}"
+        )
+        return f"{table}\n{summary}"
+
+
+def run_hit_ratio_comparison(setup: ExperimentSetup) -> HitRatioComparison:
+    """Run both systems on the same trace and extract the Figure 6 curves."""
+    runner = ExperimentRunner(setup)
+    flower = runner.run_flower()
+    squirrel = runner.run_squirrel()
+    return HitRatioComparison(
+        flower_curve=flower.metrics.hit_ratio_series.cumulative_means(),
+        squirrel_curve=squirrel.metrics.hit_ratio_series.cumulative_means(),
+        flower_final=flower.hit_ratio,
+        squirrel_final=squirrel.hit_ratio,
+        flower_run=flower,
+        squirrel_run=squirrel,
+    )

@@ -1,0 +1,280 @@
+"""Shared experiment driver.
+
+An :class:`ExperimentSetup` bundles everything one simulated run needs:
+Flower-CDN configuration, topology parameters and workload parameters.  The
+:class:`ExperimentRunner` builds the environment once (topology + query trace
++ client assignment) and can then run Flower-CDN and/or Squirrel against the
+*same* resolved query stream, which is what the comparative figures require.
+
+Two scales are provided: :meth:`ExperimentSetup.paper_scale` follows Table 1
+(24 simulated hours, 6 queries/s, 100 websites) and
+:meth:`ExperimentSetup.laptop_scale` keeps the parameter ratios but shrinks
+the run so a full benchmark suite completes in minutes on a laptop.
+EXPERIMENTS.md records which scale produced the committed numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.baselines.squirrel import Squirrel, SquirrelConfig
+from repro.core.churn import ChurnConfig, ChurnInjector
+from repro.core.config import HOUR, MINUTE, FlowerConfig
+from repro.core.replication import ActiveReplicator, ReplicationConfig
+from repro.core.system import FlowerCDN
+from repro.metrics.collectors import BandwidthAccountant, MetricsCollector
+from repro.network.latency import LatencyModel
+from repro.network.topology import Topology, TopologyConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workload.assignment import ClientAssigner, ResolvedQuery
+from repro.workload.catalog import Catalog
+from repro.workload.generator import QueryGenerator, WorkloadConfig
+
+
+@dataclass(frozen=True)
+class ExperimentSetup:
+    """Everything needed to build one simulated environment."""
+
+    flower: FlowerConfig
+    topology: TopologyConfig
+    workload: WorkloadConfig
+    squirrel: SquirrelConfig = field(default_factory=SquirrelConfig)
+    seed: int = 42
+
+    # -- canonical scales -----------------------------------------------------
+
+    @classmethod
+    def paper_scale(cls, seed: int = 42) -> "ExperimentSetup":
+        """The Table 1 configuration: 24 h, 6 q/s, 100 websites, 6 localities."""
+        flower = FlowerConfig()
+        return cls(
+            flower=flower,
+            topology=TopologyConfig(num_hosts=5000, num_localities=flower.num_localities),
+            workload=WorkloadConfig(
+                num_websites=flower.num_websites,
+                active_websites=flower.active_websites,
+                objects_per_website=flower.objects_per_website,
+                num_localities=flower.num_localities,
+                query_rate_per_s=6.0,
+            ),
+            squirrel=SquirrelConfig(metrics_window_s=flower.metrics_window_s),
+            seed=seed,
+        )
+
+    @classmethod
+    def laptop_scale(
+        cls,
+        seed: int = 42,
+        duration_s: float = 3 * HOUR,
+        query_rate_per_s: float = 2.0,
+        num_websites: int = 20,
+        active_websites: int = 2,
+        objects_per_website: int = 200,
+        num_localities: int = 3,
+        max_content_overlay_size: int = 40,
+        num_hosts: int = 600,
+    ) -> "ExperimentSetup":
+        """A scaled-down configuration preserving the paper's parameter ratios."""
+        flower = FlowerConfig().scaled_down(
+            num_websites=num_websites,
+            active_websites=active_websites,
+            objects_per_website=objects_per_website,
+            num_localities=num_localities,
+            max_content_overlay_size=max_content_overlay_size,
+            simulation_duration_s=duration_s,
+            metrics_window_s=max(5 * MINUTE, duration_s / 12),
+        )
+        return cls(
+            flower=flower,
+            topology=TopologyConfig(num_hosts=num_hosts, num_localities=num_localities),
+            workload=WorkloadConfig(
+                num_websites=num_websites,
+                active_websites=active_websites,
+                objects_per_website=objects_per_website,
+                num_localities=num_localities,
+                query_rate_per_s=query_rate_per_s,
+            ),
+            squirrel=SquirrelConfig(metrics_window_s=flower.metrics_window_s),
+            seed=seed,
+        )
+
+    def with_flower(self, flower: FlowerConfig) -> "ExperimentSetup":
+        return replace(self, flower=flower)
+
+    def with_gossip(self, **changes) -> "ExperimentSetup":
+        return replace(self, flower=self.flower.with_gossip(**changes))
+
+
+@dataclass
+class RunResult:
+    """Aggregated outcome of one system run."""
+
+    system_name: str
+    duration_s: float
+    num_queries: int
+    hit_ratio: float
+    average_lookup_latency_ms: float
+    average_transfer_distance_ms: float
+    background_bps_per_peer: float
+    redirection_failures: int
+    metrics: MetricsCollector
+    bandwidth: Optional[BandwidthAccountant] = None
+
+    def summary_row(self) -> tuple:
+        return (
+            self.system_name,
+            self.num_queries,
+            round(self.hit_ratio, 3),
+            round(self.average_lookup_latency_ms, 1),
+            round(self.average_transfer_distance_ms, 1),
+            round(self.background_bps_per_peer, 1),
+        )
+
+
+class ExperimentRunner:
+    """Builds one environment and runs CDN systems against the same workload."""
+
+    def __init__(self, setup: ExperimentSetup) -> None:
+        self.setup = setup
+        self._topology: Optional[Topology] = None
+        self._resolved: Optional[List[ResolvedQuery]] = None
+        self._catalog: Optional[Catalog] = None
+        self._flower_system: Optional[FlowerCDN] = None
+        self._last_replicator: Optional[ActiveReplicator] = None
+
+    # -- environment construction ---------------------------------------------------
+
+    @property
+    def topology(self) -> Topology:
+        if self._topology is None:
+            self._topology = Topology(
+                self.setup.topology, RandomStreams(self.setup.seed)
+            )
+        return self._topology
+
+    @property
+    def catalog(self) -> Catalog:
+        if self._catalog is None:
+            self._catalog = Catalog.synthetic(
+                self.setup.workload.num_websites, self.setup.workload.objects_per_website
+            )
+        return self._catalog
+
+    def _build_flower(self) -> tuple[Simulator, FlowerCDN]:
+        sim = Simulator(seed=self.setup.seed, end_time=self.setup.flower.simulation_duration_s)
+        system = FlowerCDN(
+            self.setup.flower,
+            sim,
+            self.topology,
+            latency_model=LatencyModel(self.topology),
+            catalog=self.catalog,
+        )
+        system.bootstrap()
+        return sim, system
+
+    def resolved_queries(self) -> List[ResolvedQuery]:
+        """The query trace with concrete originating hosts (built once, reused)."""
+        if self._resolved is not None:
+            return self._resolved
+        # Directory-peer hosts are excluded from client assignment so the same
+        # trace is valid for both Flower-CDN (where those hosts are reserved)
+        # and Squirrel (where they simply never ask anything).
+        _, probe_system = self._build_flower()
+        reserved = probe_system.reserved_hosts
+        generator = QueryGenerator(
+            self.setup.workload, RandomStreams(self.setup.seed + 1), catalog=self.catalog
+        )
+        assigner = ClientAssigner(
+            self.topology,
+            RandomStreams(self.setup.seed + 2),
+            max_clients_per_overlay=self.setup.flower.max_content_overlay_size,
+            reserved_hosts=reserved,
+        )
+        duration = self.setup.flower.simulation_duration_s
+        self._resolved = assigner.assign_all(generator.generate(duration))
+        return self._resolved
+
+    # -- runs -------------------------------------------------------------------------
+
+    def run_flower(
+        self,
+        churn: Optional[ChurnConfig] = None,
+        replication: Optional[ReplicationConfig] = None,
+    ) -> RunResult:
+        """Run Flower-CDN over the shared trace.
+
+        ``churn`` enables failure/mobility injection; ``replication`` enables
+        the active-replication extension (both off by default, matching the
+        configuration the paper evaluates).
+        """
+        queries = self.resolved_queries()
+        sim, system = self._build_flower()
+        injector = None
+        if churn is not None and churn.is_enabled:
+            injector = ChurnInjector(system, churn)
+            injector.start()
+        replicator = None
+        if replication is not None:
+            replicator = ActiveReplicator(system, replication)
+            replicator.start()
+        for query in queries:
+            sim.at(query.time, lambda q=query: system.handle_query(q), label="query")
+        duration = self.setup.flower.simulation_duration_s
+        sim.run(until=duration)
+        if injector is not None:
+            injector.stop()
+        if replicator is not None:
+            replicator.stop()
+        self._flower_system = system
+        self._last_replicator = replicator
+        metrics = system.metrics
+        return RunResult(
+            system_name="Flower-CDN",
+            duration_s=duration,
+            num_queries=metrics.num_queries,
+            hit_ratio=metrics.hit_ratio,
+            average_lookup_latency_ms=metrics.average_lookup_latency_ms,
+            average_transfer_distance_ms=metrics.average_transfer_distance_ms,
+            background_bps_per_peer=system.bandwidth.average_bps_per_peer(duration),
+            redirection_failures=metrics.redirection_failures,
+            metrics=metrics,
+            bandwidth=system.bandwidth,
+        )
+
+    def run_squirrel(self) -> RunResult:
+        """Run the Squirrel baseline over the same trace."""
+        queries = self.resolved_queries()
+        duration = self.setup.flower.simulation_duration_s
+        sim = Simulator(seed=self.setup.seed, end_time=duration)
+        system = Squirrel(
+            self.setup.squirrel, sim, self.topology, latency_model=LatencyModel(self.topology)
+        )
+        system.bootstrap()
+        for query in queries:
+            sim.at(query.time, lambda q=query: system.handle_query(q), label="query")
+        sim.run(until=duration)
+        metrics = system.metrics
+        return RunResult(
+            system_name="Squirrel",
+            duration_s=duration,
+            num_queries=metrics.num_queries,
+            hit_ratio=metrics.hit_ratio,
+            average_lookup_latency_ms=metrics.average_lookup_latency_ms,
+            average_transfer_distance_ms=metrics.average_transfer_distance_ms,
+            background_bps_per_peer=0.0,
+            redirection_failures=metrics.redirection_failures,
+            metrics=metrics,
+            bandwidth=None,
+        )
+
+    @property
+    def last_flower_system(self) -> Optional[FlowerCDN]:
+        """The FlowerCDN instance of the most recent :meth:`run_flower` call."""
+        return self._flower_system
+
+    @property
+    def last_replicator(self) -> Optional[ActiveReplicator]:
+        """The ActiveReplicator of the most recent run, if replication was enabled."""
+        return self._last_replicator

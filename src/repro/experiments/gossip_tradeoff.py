@@ -1,0 +1,112 @@
+"""Table 2: the hit-ratio / gossip-bandwidth trade-off (Section 6.2).
+
+One sweep per gossip parameter:
+
+* Table 2(a) — gossip length ``Lgossip`` ∈ {5, 10, 20} with Tgossip = 30 min
+  and Vgossip = 50;
+* Table 2(b) — gossip period ``Tgossip`` ∈ {1 min, 30 min, 1 h} with
+  Lgossip = 10 and Vgossip = 50;
+* Table 2(c) — view size ``Vgossip`` ∈ {20, 50, 70} with Lgossip = 10 and
+  Tgossip = 30 min;
+* push-threshold ablation (the paper reports it in prose: "similar
+  performance for different values of push threshold").
+
+Each sweep row reports the hit ratio after the full run and the average
+background bandwidth per peer in bps, exactly the two columns of Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.config import HOUR, MINUTE
+from repro.experiments.driver import ExperimentRunner, ExperimentSetup
+from repro.metrics.report import format_table
+
+#: the parameter values used by the paper's Table 2
+PAPER_GOSSIP_LENGTHS: Sequence[int] = (5, 10, 20)
+PAPER_GOSSIP_PERIODS_S: Sequence[float] = (1 * MINUTE, 30 * MINUTE, 1 * HOUR)
+PAPER_VIEW_SIZES: Sequence[int] = (20, 50, 70)
+PAPER_PUSH_THRESHOLDS: Sequence[float] = (0.1, 0.5, 0.7)
+
+
+@dataclass(frozen=True)
+class GossipSweepRow:
+    """One row of a Table 2 style sweep."""
+
+    parameter: str
+    value: float
+    hit_ratio: float
+    background_bps: float
+    average_lookup_latency_ms: float
+    average_transfer_distance_ms: float
+
+
+def _run_single(setup: ExperimentSetup, parameter: str, value: float) -> GossipSweepRow:
+    runner = ExperimentRunner(setup)
+    result = runner.run_flower()
+    return GossipSweepRow(
+        parameter=parameter,
+        value=value,
+        hit_ratio=result.hit_ratio,
+        background_bps=result.background_bps_per_peer,
+        average_lookup_latency_ms=result.average_lookup_latency_ms,
+        average_transfer_distance_ms=result.average_transfer_distance_ms,
+    )
+
+
+def run_gossip_length_sweep(
+    setup: ExperimentSetup, values: Sequence[int] = PAPER_GOSSIP_LENGTHS
+) -> List[GossipSweepRow]:
+    """Table 2(a): vary Lgossip with the other gossip parameters fixed."""
+    rows = []
+    for value in values:
+        sweep_setup = setup.with_gossip(gossip_length=int(value))
+        rows.append(_run_single(sweep_setup, "Lgossip", value))
+    return rows
+
+
+def run_gossip_period_sweep(
+    setup: ExperimentSetup, values: Sequence[float] = PAPER_GOSSIP_PERIODS_S
+) -> List[GossipSweepRow]:
+    """Table 2(b): vary Tgossip with the other gossip parameters fixed."""
+    rows = []
+    for value in values:
+        sweep_setup = setup.with_gossip(
+            gossip_period_s=float(value), keepalive_period_s=float(value)
+        )
+        rows.append(_run_single(sweep_setup, "Tgossip(s)", value))
+    return rows
+
+
+def run_view_size_sweep(
+    setup: ExperimentSetup, values: Sequence[int] = PAPER_VIEW_SIZES
+) -> List[GossipSweepRow]:
+    """Table 2(c): vary Vgossip with the other gossip parameters fixed."""
+    rows = []
+    for value in values:
+        gossip_length = min(setup.flower.gossip.gossip_length, int(value))
+        sweep_setup = setup.with_gossip(view_size=int(value), gossip_length=gossip_length)
+        rows.append(_run_single(sweep_setup, "Vgossip", value))
+    return rows
+
+
+def run_push_threshold_sweep(
+    setup: ExperimentSetup, values: Sequence[float] = PAPER_PUSH_THRESHOLDS
+) -> List[GossipSweepRow]:
+    """The push-threshold ablation discussed in the prose of Section 6.2."""
+    rows = []
+    for value in values:
+        sweep_setup = setup.with_gossip(push_threshold=float(value))
+        rows.append(_run_single(sweep_setup, "push threshold", value))
+    return rows
+
+
+def format_sweep(rows: Sequence[GossipSweepRow], title: str) -> str:
+    """Render a sweep the way Table 2 presents it (parameter, hit ratio, bps)."""
+    return format_table(
+        [rows[0].parameter if rows else "value", "Hit ratio", "Background BW (bps)"],
+        [(row.value, row.hit_ratio, row.background_bps) for row in rows],
+        title=title,
+    )

@@ -1,0 +1,59 @@
+"""Figure 5: hit ratio and background traffic over time (Section 6.2).
+
+For the chosen setting (Tgossip = 30 min, Lgossip = 10, Vgossip = 50) the
+paper plots the cumulative hit ratio, which keeps rising as content spreads
+through the overlays, and the per-peer background traffic, which plateaus
+once the system has warmed up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.experiments.driver import ExperimentRunner, ExperimentSetup, RunResult
+from repro.metrics.report import format_series
+
+
+@dataclass
+class TradeoffTimeseries:
+    """The two curves of Figure 5 plus the final aggregates."""
+
+    hit_ratio_over_time: List[Tuple[float, float]]
+    background_bps_over_time: List[Tuple[float, float]]
+    final_hit_ratio: float
+    final_background_bps: float
+    run: RunResult
+
+    def hit_ratio_is_non_decreasing(self, tolerance: float = 0.05) -> bool:
+        """Sanity check used by tests: the cumulative curve should keep rising."""
+        values = [v for _, v in self.hit_ratio_over_time]
+        return all(b >= a - tolerance for a, b in zip(values, values[1:]))
+
+    def format(self) -> str:
+        lines = [
+            format_series("Figure 5a: cumulative hit ratio", self.hit_ratio_over_time,
+                          y_label="hit ratio"),
+            "",
+            format_series("Figure 5b: background traffic (bps/peer)",
+                          self.background_bps_over_time, y_label="bps"),
+            "",
+            f"final hit ratio = {self.final_hit_ratio:.3f}, "
+            f"final background traffic = {self.final_background_bps:.1f} bps/peer",
+        ]
+        return "\n".join(lines)
+
+
+def run_tradeoff_timeseries(setup: ExperimentSetup) -> TradeoffTimeseries:
+    """Run Flower-CDN once and extract the Figure 5 curves."""
+    runner = ExperimentRunner(setup)
+    result = runner.run_flower()
+    hit_curve = result.metrics.hit_ratio_series.cumulative_means()
+    bps_curve = result.bandwidth.bps_series() if result.bandwidth else []
+    return TradeoffTimeseries(
+        hit_ratio_over_time=hit_curve,
+        background_bps_over_time=bps_curve,
+        final_hit_ratio=result.hit_ratio,
+        final_background_bps=result.background_bps_per_peer,
+        run=result,
+    )

@@ -1,0 +1,30 @@
+"""Evaluation metrics.
+
+The paper evaluates four metrics (Section 6): background traffic (bps per
+peer from gossip and push exchanges), hit ratio (fraction of queries served
+by the P2P system), lookup latency (time to locate a provider) and transfer
+distance (network distance from requester to provider).  This package
+collects them as both aggregates and time series / distributions so every
+table and figure can be regenerated.
+"""
+
+from repro.metrics.collectors import (
+    BandwidthAccountant,
+    MetricsCollector,
+    QueryOutcome,
+    QueryRecord,
+)
+from repro.metrics.histogram import Histogram
+from repro.metrics.timeseries import TimeSeries
+from repro.metrics.report import format_table, percentiles_table
+
+__all__ = [
+    "MetricsCollector",
+    "BandwidthAccountant",
+    "QueryOutcome",
+    "QueryRecord",
+    "Histogram",
+    "TimeSeries",
+    "format_table",
+    "percentiles_table",
+]

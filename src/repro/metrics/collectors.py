@@ -1,0 +1,253 @@
+"""Metric collectors shared by Flower-CDN, Squirrel and the experiment harness.
+
+Two collectors exist:
+
+* :class:`MetricsCollector` records per-query outcomes (hit/miss, lookup
+  latency, transfer distance, overlay hops) and exposes the aggregates,
+  time series and distributions needed by every table and figure;
+* :class:`BandwidthAccountant` records background-traffic bytes (gossip,
+  push, keepalive, summary refresh messages) per peer and converts them to
+  the paper's "average bps experienced by a content or directory peer".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.metrics.histogram import Histogram
+from repro.metrics.timeseries import TimeSeries
+
+
+class QueryOutcome(Enum):
+    """Where a query was ultimately served from."""
+
+    #: served by a content peer of the requester's own content overlay
+    LOCAL_OVERLAY_HIT = "local_overlay_hit"
+    #: served by a content peer of another locality's content overlay of the
+    #: same website (reached through directory summaries)
+    REMOTE_OVERLAY_HIT = "remote_overlay_hit"
+    #: served by any peer of the P2P system without locality attribution
+    #: (used by the Squirrel baseline, which has no locality notion)
+    PEER_HIT = "peer_hit"
+    #: the P2P system could not provide the object; served by the origin server
+    SERVER_MISS = "server_miss"
+
+    @property
+    def is_hit(self) -> bool:
+        return self is not QueryOutcome.SERVER_MISS
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """Everything the evaluation needs to know about one processed query."""
+
+    query_id: int
+    time: float
+    website: str
+    locality: int
+    outcome: QueryOutcome
+    lookup_latency_ms: float
+    transfer_distance_ms: float
+    overlay_hops: int = 0
+    provider: Optional[str] = None
+    redirection_failures: int = 0
+
+
+class MetricsCollector:
+    """Accumulates :class:`QueryRecord` objects and derives the paper's metrics."""
+
+    def __init__(
+        self,
+        window_s: float = 3600.0,
+        latency_bin_ms: float = 150.0,
+        latency_bins: int = 10,
+        distance_bin_ms: float = 100.0,
+        distance_bins: int = 6,
+    ) -> None:
+        self._records: List[QueryRecord] = []
+        self._hit_series = TimeSeries(window_s)
+        self._latency_series = TimeSeries(window_s)
+        self._distance_series = TimeSeries(window_s)
+        self._latency_histogram = Histogram(latency_bin_ms, latency_bins)
+        self._distance_histogram = Histogram(distance_bin_ms, distance_bins)
+        self._outcome_counts: Dict[QueryOutcome, int] = defaultdict(int)
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, record: QueryRecord) -> None:
+        self._records.append(record)
+        self._outcome_counts[record.outcome] += 1
+        self._hit_series.add(record.time, 1.0 if record.outcome.is_hit else 0.0)
+        self._latency_series.add(record.time, record.lookup_latency_ms)
+        self._latency_histogram.add(record.lookup_latency_ms)
+        if record.outcome.is_hit:
+            # The transfer-distance metric is defined over queries satisfied
+            # from the P2P system (Section 6, metric definition).
+            self._distance_series.add(record.time, record.transfer_distance_ms)
+            self._distance_histogram.add(record.transfer_distance_ms)
+
+    def record_all(self, records: Iterable[QueryRecord]) -> None:
+        for record in records:
+            self.record(record)
+
+    # -- aggregates ---------------------------------------------------------------
+
+    @property
+    def num_queries(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> Sequence[QueryRecord]:
+        return tuple(self._records)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of queries satisfied from the P2P system."""
+        if not self._records:
+            return 0.0
+        hits = sum(count for outcome, count in self._outcome_counts.items() if outcome.is_hit)
+        return hits / len(self._records)
+
+    @property
+    def average_lookup_latency_ms(self) -> float:
+        return self._latency_histogram.mean
+
+    @property
+    def average_transfer_distance_ms(self) -> float:
+        return self._distance_histogram.mean
+
+    @property
+    def average_overlay_hops(self) -> float:
+        if not self._records:
+            return 0.0
+        return sum(r.overlay_hops for r in self._records) / len(self._records)
+
+    @property
+    def redirection_failures(self) -> int:
+        return sum(r.redirection_failures for r in self._records)
+
+    def outcome_counts(self) -> Dict[QueryOutcome, int]:
+        return dict(self._outcome_counts)
+
+    def outcome_fractions(self) -> Dict[QueryOutcome, float]:
+        total = len(self._records)
+        if not total:
+            return {}
+        return {outcome: count / total for outcome, count in self._outcome_counts.items()}
+
+    # -- series and distributions ----------------------------------------------------
+
+    @property
+    def hit_ratio_series(self) -> TimeSeries:
+        return self._hit_series
+
+    @property
+    def lookup_latency_series(self) -> TimeSeries:
+        return self._latency_series
+
+    @property
+    def transfer_distance_series(self) -> TimeSeries:
+        return self._distance_series
+
+    @property
+    def lookup_latency_histogram(self) -> Histogram:
+        return self._latency_histogram
+
+    @property
+    def transfer_distance_histogram(self) -> Histogram:
+        return self._distance_histogram
+
+    def steady_state_latency_ms(self, warmup_s: float) -> float:
+        """Mean of per-window lookup latencies after the warm-up period."""
+        values = self._latency_series.values_after(warmup_s)
+        return sum(values) / len(values) if values else 0.0
+
+    def steady_state_distance_ms(self, warmup_s: float) -> float:
+        values = self._distance_series.values_after(warmup_s)
+        return sum(values) / len(values) if values else 0.0
+
+
+class BandwidthAccountant:
+    """Background-traffic accounting (gossip, push, keepalive, summary refresh)."""
+
+    #: categories of background messages counted as overhead; "replication" is
+    #: only used by the active-replication extension (Section 8 future work)
+    CATEGORIES = ("gossip", "push", "keepalive", "summary", "replication")
+
+    def __init__(self, window_s: float = 3600.0) -> None:
+        self._bytes_per_peer: Dict[str, float] = defaultdict(float)
+        self._bytes_per_category: Dict[str, float] = defaultdict(float)
+        self._messages_per_category: Dict[str, int] = defaultdict(int)
+        self._series = TimeSeries(window_s)
+        self._peer_first_seen: Dict[str, float] = {}
+
+    def record_message(
+        self, time: float, sender: str, receiver: str, num_bytes: int, category: str
+    ) -> None:
+        """Account a background message: both endpoints experience the traffic."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if category not in self.CATEGORIES:
+            raise ValueError(f"unknown traffic category {category!r}")
+        for peer in (sender, receiver):
+            self._bytes_per_peer[peer] += num_bytes
+            self._peer_first_seen.setdefault(peer, time)
+        self._bytes_per_category[category] += 2 * num_bytes
+        self._messages_per_category[category] += 1
+        self._series.add(time, 2 * num_bytes)
+
+    def observe_peer(self, time: float, peer: str) -> None:
+        """Register a peer that participates even if it never sends traffic."""
+        self._bytes_per_peer.setdefault(peer, 0.0)
+        self._peer_first_seen.setdefault(peer, time)
+
+    # -- aggregates --------------------------------------------------------------
+
+    @property
+    def num_peers(self) -> int:
+        return len(self._bytes_per_peer)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(self._bytes_per_peer.values())
+
+    def total_bytes_by_category(self) -> Dict[str, float]:
+        return dict(self._bytes_per_category)
+
+    def messages_by_category(self) -> Dict[str, int]:
+        return dict(self._messages_per_category)
+
+    def average_bps_per_peer(self, duration_s: float) -> float:
+        """The paper's *background traffic* metric: mean bps per participating peer."""
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if not self._bytes_per_peer:
+            return 0.0
+        per_peer_bps = [
+            (total_bytes * 8.0) / duration_s for total_bytes in self._bytes_per_peer.values()
+        ]
+        return sum(per_peer_bps) / len(per_peer_bps)
+
+    def peak_bps_per_peer(self, duration_s: float) -> float:
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if not self._bytes_per_peer:
+            return 0.0
+        return max((b * 8.0) / duration_s for b in self._bytes_per_peer.values())
+
+    def traffic_series(self) -> TimeSeries:
+        """Per-window total background bytes (Figure 5's traffic curve)."""
+        return self._series
+
+    def bps_series(self, duration_hint_s: Optional[float] = None) -> List[tuple[float, float]]:
+        """Per-window average bps per peer over time."""
+        del duration_hint_s  # reserved for future normalisation options
+        points = []
+        peers = max(1, self.num_peers)
+        for window in self._series.windows():
+            bits = window.total * 8.0
+            points.append((window.window_start, bits / (self._series.window_s * peers)))
+        return points

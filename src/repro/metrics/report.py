@@ -1,0 +1,61 @@
+"""Plain-text result formatting.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers render aligned ASCII tables without any third-party dependency so the
+output of ``pytest benchmarks/ --benchmark-only`` is directly comparable with
+the paper's tables and figure descriptions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render a simple aligned table as a string."""
+    materialised: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            if index >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def percentiles_table(
+    name: str, values: Sequence[float], percentiles: Sequence[float] = (50, 75, 90, 95, 99)
+) -> str:
+    """Render a one-line percentile summary for a list of samples."""
+    if not values:
+        return f"{name}: no samples"
+    ordered = sorted(values)
+    cells: List[Tuple[str, float]] = [("mean", sum(ordered) / len(ordered))]
+    for p in percentiles:
+        index = min(len(ordered) - 1, max(0, int(round((p / 100.0) * (len(ordered) - 1)))))
+        cells.append((f"p{int(p)}", ordered[index]))
+    rendered = ", ".join(f"{label}={value:.1f}" for label, value in cells)
+    return f"{name}: n={len(ordered)}, {rendered}"
+
+
+def format_series(title: str, points: Sequence[Tuple[float, float]], x_label: str = "t(s)",
+                  y_label: str = "value") -> str:
+    """Render a (time, value) series as a compact two-column table."""
+    return format_table([x_label, y_label], [(f"{x:.0f}", y) for x, y in points], title=title)

@@ -1,0 +1,95 @@
+"""Windowed time series.
+
+Figures 5, 6, 7(a) and 8(a) plot metrics against simulation time.  The
+:class:`TimeSeries` here buckets samples into fixed windows and reports the
+per-window mean (and optionally the cumulative mean), which is exactly how an
+"average X over time" curve is produced from raw per-query samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class WindowStat:
+    """Aggregate of the samples falling into one time window."""
+
+    window_start: float
+    count: int
+    mean: float
+    total: float
+
+
+class TimeSeries:
+    """Accumulates (time, value) samples into fixed windows."""
+
+    def __init__(self, window_s: float) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self._window_s = window_s
+        self._sums: Dict[int, float] = {}
+        self._counts: Dict[int, int] = {}
+        self._total_sum = 0.0
+        self._total_count = 0
+
+    @property
+    def window_s(self) -> float:
+        return self._window_s
+
+    @property
+    def total_count(self) -> int:
+        return self._total_count
+
+    @property
+    def overall_mean(self) -> float:
+        return self._total_sum / self._total_count if self._total_count else 0.0
+
+    def add(self, time_s: float, value: float) -> None:
+        if time_s < 0:
+            raise ValueError("sample time must be non-negative")
+        index = int(time_s // self._window_s)
+        self._sums[index] = self._sums.get(index, 0.0) + value
+        self._counts[index] = self._counts.get(index, 0) + 1
+        self._total_sum += value
+        self._total_count += 1
+
+    def windows(self) -> List[WindowStat]:
+        """Per-window aggregates, ordered by time; empty windows are omitted."""
+        stats: List[WindowStat] = []
+        for index in sorted(self._sums):
+            count = self._counts[index]
+            total = self._sums[index]
+            stats.append(
+                WindowStat(
+                    window_start=index * self._window_s,
+                    count=count,
+                    mean=total / count,
+                    total=total,
+                )
+            )
+        return stats
+
+    def window_means(self) -> List[Tuple[float, float]]:
+        """(window start, window mean) pairs — the raw series for a figure."""
+        return [(w.window_start, w.mean) for w in self.windows()]
+
+    def cumulative_means(self) -> List[Tuple[float, float]]:
+        """(window start, cumulative mean up to the end of that window) pairs.
+
+        Hit-ratio curves (Figures 5 and 6) are cumulative: the ratio of all
+        queries answered by the P2P system since the beginning of the run.
+        """
+        points: List[Tuple[float, float]] = []
+        running_sum = 0.0
+        running_count = 0
+        for window in self.windows():
+            running_sum += window.total
+            running_count += window.count
+            points.append((window.window_start, running_sum / running_count))
+        return points
+
+    def values_after(self, time_s: float) -> Sequence[float]:
+        """Window means for windows starting at or after ``time_s`` (post-warm-up)."""
+        return tuple(mean for start, mean in self.window_means() if start >= time_s)

@@ -1,0 +1,20 @@
+"""Underlying network model: latency topology and landmark-based localities.
+
+The paper builds its P2P overlays on top of a BRITE-generated Internet
+topology of 5000 nodes with link latencies between 10 and 500 ms and derives
+``k`` network localities via landmark binning (Ratnasamy et al.).  This
+package provides the equivalent synthetic substrate:
+
+* :class:`repro.network.topology.Topology` — peers placed in a latency space,
+  pairwise latencies in [10, 500] ms with low intra-cluster latencies.
+* :class:`repro.network.landmarks.LandmarkBinner` — assigns each peer to one
+  of ``k`` localities from its latency vector to the landmarks.
+* :class:`repro.network.latency.LatencyModel` — the query/gossip message
+  delay oracle used by the simulator.
+"""
+
+from repro.network.latency import LatencyModel
+from repro.network.landmarks import LandmarkBinner
+from repro.network.topology import Topology, TopologyConfig
+
+__all__ = ["Topology", "TopologyConfig", "LandmarkBinner", "LatencyModel"]

@@ -1,0 +1,151 @@
+"""A Chord node: finger table, successor list and local lookups.
+
+Each node knows a bounded set of other nodes (its *routing state*): finger
+table entries, a successor list and its predecessor.  The two primitives the
+paper's routing algorithms need are implemented here:
+
+* ``local_lookup(key)`` — Algorithm 1's per-hop step: among the nodes this
+  node knows of (including itself), the one numerically closest to the key;
+* ``conditional_local_lookup(key, predicate)`` — Algorithm 2's extra step:
+  the same, restricted to known nodes satisfying a predicate (D-ring uses
+  "same website ID as the key").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.overlay.idspace import IdSpace
+
+
+class ChordNode:
+    """Routing state of one DHT participant."""
+
+    def __init__(self, node_id: int, idspace: IdSpace, peer_name: str = "") -> None:
+        idspace.validate(node_id)
+        self.node_id = node_id
+        self.idspace = idspace
+        #: Application-level peer name mapped onto this DHT node (used by the
+        #: latency model and the Flower-CDN layer); defaults to the node id.
+        self.peer_name = peer_name or f"node-{node_id}"
+        self.fingers: List[Optional[int]] = [None] * idspace.bits
+        self.successors: List[int] = []
+        self.predecessor: Optional[int] = None
+        self.alive = True
+
+    # -- identity ----------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"ChordNode(id={self.node_id}, peer={self.peer_name!r}, alive={self.alive})"
+
+    # -- routing state -----------------------------------------------------
+
+    def finger_start(self, index: int) -> int:
+        """The identifier the ``index``-th finger should point at: ``id + 2^index``."""
+        return self.idspace.normalize(self.node_id + (1 << index))
+
+    def known_nodes(self) -> Set[int]:
+        """Every node id present in this node's routing state (plus itself)."""
+        known: Set[int] = {self.node_id}
+        known.update(f for f in self.fingers if f is not None)
+        known.update(self.successors)
+        if self.predecessor is not None:
+            known.add(self.predecessor)
+        return known
+
+    def forget(self, node_id: int) -> None:
+        """Drop a failed node from every routing-state slot."""
+        self.fingers = [None if f == node_id else f for f in self.fingers]
+        self.successors = [s for s in self.successors if s != node_id]
+        if self.predecessor == node_id:
+            self.predecessor = None
+
+    def remember(self, node_id: int) -> None:
+        """Opportunistically place ``node_id`` into any finger slot it improves."""
+        if node_id == self.node_id:
+            return
+        for index in range(self.idspace.bits):
+            start = self.finger_start(index)
+            current = self.fingers[index]
+            if current is None:
+                self.fingers[index] = node_id
+                continue
+            # Prefer the node closest after the finger start (classic Chord).
+            if self.idspace.clockwise_distance(start, node_id) < self.idspace.clockwise_distance(
+                start, current
+            ):
+                self.fingers[index] = node_id
+
+    # -- lookups (Algorithms 1 and 2 primitives) ------------------------------
+
+    def local_lookup(self, key: int) -> int:
+        """The known node (or self) numerically closest to ``key``."""
+        return self.idspace.closest_to(key, sorted(self.known_nodes()))
+
+    def conditional_local_lookup(
+        self, key: int, predicate: Callable[[int], bool]
+    ) -> Optional[int]:
+        """Closest known node satisfying ``predicate``, or ``None`` if there is none."""
+        candidates = [n for n in self.known_nodes() if predicate(n)]
+        if not candidates:
+            return None
+        return self.idspace.closest_to(key, sorted(candidates))
+
+    def closest_preceding(self, key: int) -> int:
+        """Chord's ``closest_preceding_finger``: used by tests to cross-check routing."""
+        best = self.node_id
+        best_distance = self.idspace.clockwise_distance(self.node_id, key)
+        for candidate in self.known_nodes():
+            if candidate == self.node_id:
+                continue
+            if self.idspace.in_interval(candidate, self.node_id, key):
+                distance = self.idspace.clockwise_distance(candidate, key)
+                if distance < best_distance:
+                    best = candidate
+                    best_distance = distance
+        return best
+
+
+def rebuild_routing_state(
+    nodes: Dict[int, ChordNode], successor_list_size: int = 4
+) -> None:
+    """Recompute fingers, successor lists and predecessors for a set of live nodes.
+
+    This is the simulation stand-in for Chord's periodic stabilisation: after
+    joins and leaves the experiment harness calls it to restore a consistent
+    ring, exactly as the paper assumes "the stabilization procedures that are
+    normally used in structured overlays" do.
+    """
+    live_ids = sorted(node_id for node_id, node in nodes.items() if node.alive)
+    if not live_ids:
+        return
+    idspace = nodes[live_ids[0]].idspace
+    ring_size = len(live_ids)
+
+    def successor_of(identifier: int) -> int:
+        """First live node clockwise from ``identifier`` (inclusive)."""
+        # live_ids is sorted; find the first id >= identifier, else wrap.
+        lo, hi = 0, ring_size
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if live_ids[mid] < identifier:
+                lo = mid + 1
+            else:
+                hi = mid
+        return live_ids[lo % ring_size]
+
+    for position, node_id in enumerate(live_ids):
+        node = nodes[node_id]
+        node.fingers = [
+            successor_of(node.finger_start(index)) for index in range(idspace.bits)
+        ]
+        node.successors = [
+            live_ids[(position + offset) % ring_size]
+            for offset in range(1, min(successor_list_size, ring_size) + 1)
+        ]
+        node.predecessor = live_ids[(position - 1) % ring_size]
+
+
+def iter_live(nodes: Iterable[ChordNode]) -> Iterable[ChordNode]:
+    """Convenience filter over live nodes."""
+    return (node for node in nodes if node.alive)

@@ -1,0 +1,22 @@
+"""Discrete-event simulation engine used by every experiment.
+
+This package is the reproduction's substitute for PeerSim: it provides a
+global virtual clock, an event queue with deterministic tie-breaking,
+periodic processes (used for gossip rounds and keepalives) and seeded
+random-number streams so that every experiment is reproducible bit-for-bit
+from its configuration.
+"""
+
+from repro.sim.engine import Simulator, SimulationError
+from repro.sim.events import Event, EventQueue
+from repro.sim.process import PeriodicProcess
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "Event",
+    "EventQueue",
+    "PeriodicProcess",
+    "RandomStreams",
+]

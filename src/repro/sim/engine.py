@@ -1,0 +1,198 @@
+"""The discrete-event simulator.
+
+The :class:`Simulator` owns the virtual clock, the event queue and the random
+streams.  Components schedule callbacks either at absolute times
+(:meth:`Simulator.at`) or after a delay (:meth:`Simulator.after`), and the
+main loop pops events in time order until a stop condition is reached.
+
+The engine deliberately mirrors the PeerSim event-driven model used by the
+paper: there is no bandwidth or CPU contention model, only per-message
+latencies supplied by the network layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RandomStreams
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduling requests or a corrupted simulation state."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Args:
+        seed: master seed for all random streams.
+        end_time: optional absolute time after which :meth:`run` stops even if
+            events remain; events scheduled past ``end_time`` are not fired.
+    """
+
+    def __init__(self, seed: int = 42, end_time: Optional[float] = None) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._end_time = end_time
+        self._running = False
+        self._stopped = False
+        self._events_fired = 0
+        self.streams = RandomStreams(seed)
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def end_time(self) -> Optional[float]:
+        return self._end_time
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (diagnostic)."""
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    # -- scheduling --------------------------------------------------------
+
+    def at(self, time: float, callback: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time:.6f}, clock is already at {self._now:.6f}"
+            )
+        return self._queue.push(time, callback, label=label)
+
+    def after(self, delay: float, callback: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self._queue.push(self._now + delay, callback, label=label)
+
+    def cancel(self, event: Event) -> None:
+        self._queue.cancel(event)
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns ``False`` when nothing remains."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if self._end_time is not None and event.time > self._end_time:
+            # Past the horizon: advance the clock to the horizon and stop.
+            self._now = self._end_time
+            return False
+        if event.time < self._now:
+            raise SimulationError("event queue returned an event in the past")
+        self._now = event.time
+        self._events_fired += 1
+        event.callback()
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or :meth:`stop` is called.
+
+        Returns the simulation time at which the run ended.
+        """
+        if until is not None:
+            if until < self._now:
+                raise SimulationError(
+                    f"cannot run until {until:.6f}, clock is already at {self._now:.6f}"
+                )
+            horizon = until if self._end_time is None else min(until, self._end_time)
+        else:
+            horizon = self._end_time
+
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if horizon is not None and next_time > horizon:
+                    self._now = horizon
+                    break
+                if not self.step():
+                    break
+        finally:
+            self._running = False
+        if horizon is not None and self._now < horizon and not self._stopped and not self._queue:
+            # Queue drained before the horizon: advance the clock so callers
+            # observing `now` see the full requested duration.
+            self._now = horizon
+        return self._now
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    # -- helpers -----------------------------------------------------------
+
+    def call_every(
+        self,
+        period: float,
+        callback: Callable[[], Any],
+        start: Optional[float] = None,
+        label: str = "",
+    ) -> "PeriodicHandle":
+        """Schedule ``callback`` every ``period`` seconds starting at ``start``.
+
+        Returns a handle whose :meth:`PeriodicHandle.cancel` stops the series.
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        handle = PeriodicHandle(self, period, callback, label)
+        first = self._now + period if start is None else start
+        handle.schedule(first)
+        return handle
+
+
+class PeriodicHandle:
+    """Handle for a repeating callback created by :meth:`Simulator.call_every`."""
+
+    def __init__(
+        self, sim: Simulator, period: float, callback: Callable[[], Any], label: str = ""
+    ) -> None:
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._label = label
+        self._event: Optional[Event] = None
+        self._cancelled = False
+        self.fired = 0
+
+    @property
+    def period(self) -> float:
+        return self._period
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def schedule(self, time: float) -> None:
+        if self._cancelled:
+            return
+        self._event = self._sim.at(time, self._fire, label=self._label)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fired += 1
+        self._callback()
+        if not self._cancelled:
+            self.schedule(self._sim.now + self._period)
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        if self._event is not None:
+            self._sim.cancel(self._event)
+            self._event = None

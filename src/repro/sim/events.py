@@ -1,0 +1,98 @@
+"""Event primitives for the discrete-event engine.
+
+An :class:`Event` couples a firing time with a callback.  Events are totally
+ordered by ``(time, sequence)`` where the sequence number is assigned at
+scheduling time, so two events scheduled for the same instant fire in the
+order they were scheduled.  This makes simulation runs deterministic, which
+the test-suite and the experiment harness rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time: simulation time (seconds) at which the event fires.
+        sequence: monotonically increasing tie-breaker assigned by the queue.
+        callback: zero-argument callable invoked when the event fires; compared
+            neither for ordering nor equality.
+        cancelled: events may be cancelled in place instead of being removed
+            from the heap (lazy deletion).
+        label: free-form tag used in diagnostics and tests.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when it reaches the front."""
+        self.cancelled = True
+
+    @property
+    def is_cancelled(self) -> bool:
+        return self.cancelled
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` objects with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, callback: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``callback`` at ``time`` and return the event handle."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        event = Event(time=time, sequence=next(self._counter), callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Return the next non-cancelled event, or ``None`` if the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        self._live = 0
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            self._live = 0
+            return None
+        return self._heap[0].time
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (lazy deletion)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live = max(0, self._live - 1)
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,139 @@
+"""Client assignment: turning abstract queries into queries from concrete hosts.
+
+The generator decides *what* is requested and *from which locality*; this
+module decides *who* asks.  Following Section 6.1, each query originates
+either from a brand-new client of the website or from an existing content
+peer, chosen from the query's locality; new clients stop joining an overlay
+once it reached the maximum size ``Sco``.
+
+Keeping this decision outside the CDN systems guarantees that Flower-CDN and
+Squirrel process *exactly the same* stream of (host, website, object) events,
+which is what the comparative figures require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.network.topology import Topology
+from repro.sim.rng import RandomStreams
+from repro.workload.generator import Query
+
+
+@dataclass(frozen=True)
+class ResolvedQuery:
+    """A query bound to a concrete originating host."""
+
+    query_id: int
+    time: float
+    website: str
+    object_id: str
+    locality: int
+    client_host: int
+    is_new_client: bool
+
+
+class ClientAssigner:
+    """Tracks per-(website, locality) client populations and assigns originators."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        streams: RandomStreams,
+        max_clients_per_overlay: int,
+        reserved_hosts: Set[int] | None = None,
+    ) -> None:
+        if max_clients_per_overlay <= 0:
+            raise ValueError("max_clients_per_overlay must be positive")
+        self._topology = topology
+        self._streams = streams
+        self._max_clients = max_clients_per_overlay
+        self._reserved: Set[int] = set(reserved_hosts or ())
+        #: hosts already enrolled as clients of a website, per (website, locality)
+        self._clients: Dict[Tuple[str, int], List[int]] = {}
+        #: hosts of a locality not yet used as a client of a given website
+        self._available: Dict[Tuple[str, int], List[int]] = {}
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def clients_of(self, website: str, locality: int) -> List[int]:
+        return list(self._clients.get((website, locality), ()))
+
+    def num_clients(self, website: str, locality: int) -> int:
+        return len(self._clients.get((website, locality), ()))
+
+    def overlay_full(self, website: str, locality: int) -> bool:
+        return self.num_clients(website, locality) >= self._max_clients
+
+    def total_clients(self) -> int:
+        return sum(len(hosts) for hosts in self._clients.values())
+
+    def reserve_host(self, host_id: int) -> None:
+        """Mark a host as unavailable for client assignment (e.g. a directory peer)."""
+        self._reserved.add(host_id)
+
+    def _candidates(self, website: str, locality: int) -> List[int]:
+        key = (website, locality)
+        if key not in self._available:
+            members = [
+                host
+                for host in self._topology.hosts_in_locality(locality)
+                if host not in self._reserved
+            ]
+            self._available[key] = self._streams.shuffle(f"assign:{website}:{locality}", members)
+        return self._available[key]
+
+    # -- assignment ----------------------------------------------------------------
+
+    def assign(self, query: Query) -> Optional[ResolvedQuery]:
+        """Bind ``query`` to an originating host, or ``None`` if nobody can ask it.
+
+        A new client is used when the query prefers one (or when the overlay
+        has no member yet) and the overlay still has room and the locality
+        still has unused hosts; otherwise an existing client is drawn
+        uniformly.  ``None`` is only returned in the degenerate case of an
+        empty locality.
+        """
+        key = (query.website, query.locality)
+        existing = self._clients.get(key, [])
+        candidates = self._candidates(query.website, query.locality)
+
+        wants_new = query.prefers_new_client or not existing
+        can_add_new = bool(candidates) and len(existing) < self._max_clients
+
+        if wants_new and can_add_new:
+            host = candidates.pop()
+            self._clients.setdefault(key, []).append(host)
+            return ResolvedQuery(
+                query_id=query.query_id,
+                time=query.time,
+                website=query.website,
+                object_id=query.object_id,
+                locality=query.locality,
+                client_host=host,
+                is_new_client=True,
+            )
+
+        if existing:
+            host = self._streams.choice("assign:existing", existing)
+            return ResolvedQuery(
+                query_id=query.query_id,
+                time=query.time,
+                website=query.website,
+                object_id=query.object_id,
+                locality=query.locality,
+                client_host=host,
+                is_new_client=False,
+            )
+
+        return None
+
+    def assign_all(self, queries) -> List[ResolvedQuery]:
+        """Assign a whole trace, silently dropping unassignable queries."""
+        resolved = []
+        for query in queries:
+            bound = self.assign(query)
+            if bound is not None:
+                resolved.append(bound)
+        return resolved

@@ -1,0 +1,184 @@
+"""Query workload generation.
+
+Reproduces the paper's workload model (Section 6.1):
+
+* queries arrive at an aggregate rate of ``query_rate`` per second;
+* each query targets one of the *active* websites (6 of the 100 catalogued
+  websites receive queries);
+* the requested object is drawn from the website's objects with a Zipf law;
+* the query originates from a random locality; whether the originator is a
+  brand-new client or an existing content peer of the website is decided by
+  the system driving the simulation (it depends on overlay membership), so
+  the generator exposes only a *preference* drawn from ``new_client_bias``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.sim.rng import RandomStreams
+from repro.workload.catalog import Catalog, ObjectId, Website
+from repro.workload.zipf import ZipfSampler
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of the synthetic query workload."""
+
+    num_websites: int = 100
+    active_websites: int = 6
+    objects_per_website: int = 500
+    num_localities: int = 6
+    query_rate_per_s: float = 6.0
+    zipf_alpha: float = 0.8
+    new_client_bias: float = 0.5
+    arrival_process: str = "poisson"  # "poisson" or "uniform"
+    locality_weights: Sequence[float] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_websites <= 0:
+            raise ValueError("num_websites must be positive")
+        if not 0 < self.active_websites <= self.num_websites:
+            raise ValueError("active_websites must be in (0, num_websites]")
+        if self.objects_per_website <= 0:
+            raise ValueError("objects_per_website must be positive")
+        if self.num_localities <= 0:
+            raise ValueError("num_localities must be positive")
+        if self.query_rate_per_s <= 0:
+            raise ValueError("query_rate_per_s must be positive")
+        if not 0.0 <= self.new_client_bias <= 1.0:
+            raise ValueError("new_client_bias must be in [0, 1]")
+        if self.arrival_process not in ("poisson", "uniform"):
+            raise ValueError("arrival_process must be 'poisson' or 'uniform'")
+        if self.locality_weights and len(self.locality_weights) != self.num_localities:
+            raise ValueError("locality_weights must have num_localities entries")
+
+
+@dataclass(frozen=True)
+class Query:
+    """One client query for an object of a website."""
+
+    query_id: int
+    time: float
+    website: str
+    object_id: ObjectId
+    locality: int
+    prefers_new_client: bool
+
+    def __str__(self) -> str:
+        return (
+            f"Query#{self.query_id}(t={self.time:.3f}s, ws={self.website}, "
+            f"obj={self.object_id.rsplit('/', 1)[-1]}, loc={self.locality})"
+        )
+
+
+class QueryGenerator:
+    """Generates the stream of :class:`Query` objects driving an experiment."""
+
+    def __init__(
+        self,
+        config: WorkloadConfig,
+        streams: RandomStreams,
+        catalog: Optional[Catalog] = None,
+    ) -> None:
+        self._config = config
+        self._streams = streams
+        self._catalog = catalog or Catalog.synthetic(
+            config.num_websites, config.objects_per_website
+        )
+        if len(self._catalog) < config.active_websites:
+            raise ValueError(
+                "catalogue has fewer websites than the requested number of active websites"
+            )
+        self._active: List[Website] = list(self._catalog.websites[: config.active_websites])
+        self._samplers: Dict[str, ZipfSampler] = {
+            site.name: ZipfSampler(site.num_objects, config.zipf_alpha) for site in self._active
+        }
+        self._next_id = 0
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def config(self) -> WorkloadConfig:
+        return self._config
+
+    @property
+    def catalog(self) -> Catalog:
+        return self._catalog
+
+    @property
+    def active_websites(self) -> Sequence[Website]:
+        return tuple(self._active)
+
+    @property
+    def queries_generated(self) -> int:
+        return self._next_id
+
+    # -- sampling -----------------------------------------------------------
+
+    def _next_interarrival(self) -> float:
+        if self._config.arrival_process == "poisson":
+            return self._streams.expovariate("workload:arrival", self._config.query_rate_per_s)
+        return 1.0 / self._config.query_rate_per_s
+
+    def _pick_locality(self) -> int:
+        weights = self._config.locality_weights
+        if not weights:
+            return self._streams.randint("workload:locality", 0, self._config.num_localities - 1)
+        u = self._streams.random("workload:locality")
+        total = sum(weights)
+        acc = 0.0
+        for index, weight in enumerate(weights):
+            acc += weight / total
+            if u <= acc:
+                return index
+        return self._config.num_localities - 1
+
+    def _pick_website(self) -> Website:
+        return self._streams.choice("workload:website", self._active)
+
+    def _pick_object(self, website: Website) -> ObjectId:
+        rank = self._samplers[website.name].sample(self._streams.stream("workload:zipf"))
+        return website.object_id(rank)
+
+    def next_query(self, current_time: float) -> Query:
+        """Generate the next query; its ``time`` is ``current_time`` + inter-arrival."""
+        website = self._pick_website()
+        query = Query(
+            query_id=self._next_id,
+            time=current_time + self._next_interarrival(),
+            website=website.name,
+            object_id=self._pick_object(website),
+            locality=self._pick_locality(),
+            prefers_new_client=(
+                self._streams.random("workload:originator") < self._config.new_client_bias
+            ),
+        )
+        self._next_id += 1
+        return query
+
+    def generate(self, duration_s: float, start_time: float = 0.0) -> Iterator[Query]:
+        """Yield every query arriving in ``[start_time, start_time + duration_s)``."""
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        clock = start_time
+        end = start_time + duration_s
+        while True:
+            query = self.next_query(clock)
+            if query.time >= end:
+                return
+            clock = query.time
+            yield query
+
+    def generate_batch(self, count: int, start_time: float = 0.0) -> List[Query]:
+        """Generate exactly ``count`` queries (used by benchmarks with fixed work)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        queries: List[Query] = []
+        clock = start_time
+        for _ in range(count):
+            query = self.next_query(clock)
+            clock = query.time
+            queries.append(query)
+        return queries

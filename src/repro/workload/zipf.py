@@ -1,0 +1,80 @@
+"""Zipf popularity sampling.
+
+Object requests within a single website follow a Zipf-like distribution
+(Breslau et al., "Web Caching and Zipf-like Distributions").  The sampler
+precomputes the cumulative distribution over ranks ``1..n`` with exponent
+``alpha`` and draws ranks by inverse-transform sampling, which keeps a draw
+O(log n) without requiring numpy.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Sequence
+
+
+class ZipfSampler:
+    """Samples ranks in ``[0, population_size)`` with Zipf(alpha) probabilities.
+
+    Rank 0 is the most popular item.  ``alpha = 0.8`` is the commonly cited
+    web-workload exponent and the default used by the experiments.
+    """
+
+    def __init__(self, population_size: int, alpha: float = 0.8) -> None:
+        if population_size <= 0:
+            raise ValueError(f"population_size must be positive, got {population_size}")
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self._population_size = population_size
+        self._alpha = alpha
+        self._cdf = self._build_cdf(population_size, alpha)
+
+    @staticmethod
+    def _build_cdf(population_size: int, alpha: float) -> List[float]:
+        weights = [1.0 / ((rank + 1) ** alpha) for rank in range(population_size)]
+        total = sum(weights)
+        cdf: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cdf.append(acc)
+        cdf[-1] = 1.0  # guard against floating-point shortfall
+        return cdf
+
+    @property
+    def population_size(self) -> int:
+        return self._population_size
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    def probability(self, rank: int) -> float:
+        """Probability mass of ``rank`` (0-based)."""
+        if not 0 <= rank < self._population_size:
+            raise IndexError(f"rank {rank} outside [0, {self._population_size})")
+        previous = self._cdf[rank - 1] if rank > 0 else 0.0
+        return self._cdf[rank] - previous
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one rank using the provided random stream."""
+        u = rng.random()
+        return bisect.bisect_left(self._cdf, u)
+
+    def sample_many(self, rng: random.Random, count: int) -> Sequence[int]:
+        return [self.sample(rng) for _ in range(count)]
+
+    def expected_unique_fraction(self, num_draws: int) -> float:
+        """Expected fraction of the population touched after ``num_draws`` draws.
+
+        Used by tests and by the experiment harness to sanity-check how fast a
+        content overlay can possibly converge to a full replica set.
+        """
+        if num_draws < 0:
+            raise ValueError("num_draws must be non-negative")
+        touched = 0.0
+        for rank in range(self._population_size):
+            p = self.probability(rank)
+            touched += 1.0 - (1.0 - p) ** num_draws
+        return touched / self._population_size

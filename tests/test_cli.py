@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro import cli
+
+
+def run_cli(args) -> str:
+    """Run the CLI with a tiny scale and capture its output."""
+    buffer = io.StringIO()
+    exit_code = cli.main(args, out=buffer)
+    assert exit_code == 0
+    return buffer.getvalue()
+
+
+TINY = [
+    "--duration-hours", "0.25",
+    "--query-rate", "1.0",
+    "--websites", "6",
+    "--active-websites", "2",
+    "--objects", "30",
+    "--localities", "3",
+    "--overlay-size", "10",
+    "--hosts", "200",
+    "--seed", "5",
+]
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["frobnicate"])
+
+    def test_scale_options_have_defaults(self):
+        args = cli.build_parser().parse_args(["run"])
+        assert args.duration_hours == 3.0
+        assert args.localities == 3
+        assert not args.paper_scale
+
+    def test_setup_from_args_laptop_scale(self):
+        args = cli.build_parser().parse_args(["run", *TINY])
+        setup = cli.setup_from_args(args)
+        assert setup.flower.num_websites == 6
+        assert setup.flower.simulation_duration_s == pytest.approx(0.25 * 3600)
+        assert setup.workload.query_rate_per_s == 1.0
+        assert setup.seed == 5
+
+    def test_setup_from_args_paper_scale(self):
+        args = cli.build_parser().parse_args(["run", "--paper-scale", "--seed", "9"])
+        setup = cli.setup_from_args(args)
+        assert setup.flower.num_websites == 100
+        assert setup.seed == 9
+
+
+class TestCommands:
+    def test_run_prints_headline_metrics(self):
+        output = run_cli(["run", *TINY])
+        assert "hit ratio" in output
+        assert "avg lookup latency (ms)" in output
+        assert "background traffic (bps/peer)" in output
+
+    def test_compare_prints_figures(self):
+        output = run_cli(["compare", *TINY])
+        assert "Figure 6" in output
+        assert "Figure 7" in output
+        assert "Figure 8" in output
+        assert "Squirrel" in output
+
+    def test_sweep_prints_all_three_tables(self):
+        output = run_cli(["sweep", *TINY])
+        assert "Table 2(a)" in output
+        assert "Table 2(b)" in output
+        assert "Table 2(c)" in output
+
+    def test_churn_prints_ablation(self):
+        output = run_cli(["churn", *TINY])
+        assert "Churn ablation" in output
+        assert "with churn" in output

@@ -1,0 +1,119 @@
+"""Unit tests for the Bloom filter used by content and directory summaries."""
+
+import pytest
+
+from repro.datastructures.bloom import BloomFilter
+
+
+class TestConstruction:
+    def test_rejects_non_positive_sizes(self):
+        with pytest.raises(ValueError):
+            BloomFilter(num_bits=0)
+        with pytest.raises(ValueError):
+            BloomFilter(num_bits=8, num_hashes=0)
+
+    def test_for_capacity_uses_paper_sizing(self):
+        bloom = BloomFilter.for_capacity(expected_items=500, bits_per_item=8)
+        assert bloom.num_bits == 4000
+        assert bloom.size_in_bytes() == 500
+
+    def test_for_capacity_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity(0)
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity(10, bits_per_item=0)
+
+    def test_default_hash_count_from_expected_items(self):
+        bloom = BloomFilter(num_bits=800, expected_items=100)
+        assert 3 <= bloom.num_hashes <= 8
+
+    def test_from_items_contains_all_items(self):
+        items = [f"http://site/object/{i}" for i in range(50)]
+        bloom = BloomFilter.from_items(items, num_bits=800)
+        assert all(item in bloom for item in items)
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(num_bits=2048)
+        items = [f"obj-{i}" for i in range(200)]
+        bloom.update(items)
+        assert all(bloom.might_contain(item) for item in items)
+
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter(num_bits=256)
+        assert "anything" not in bloom
+        assert bloom.fill_ratio == 0.0
+
+    def test_false_positive_rate_is_bounded_when_sized_correctly(self):
+        bloom = BloomFilter.for_capacity(expected_items=100, bits_per_item=8)
+        bloom.update(f"present-{i}" for i in range(100))
+        false_positives = sum(1 for i in range(2000) if f"absent-{i}" in bloom)
+        assert false_positives / 2000 < 0.1
+
+    def test_clear_resets_filter(self):
+        bloom = BloomFilter(num_bits=128)
+        bloom.add("x")
+        bloom.clear()
+        assert "x" not in bloom
+        assert bloom.approximate_items == 0
+
+
+class TestIntrospection:
+    def test_fill_ratio_grows_with_items(self):
+        bloom = BloomFilter(num_bits=512)
+        previous = 0.0
+        for i in range(0, 50, 10):
+            bloom.update(f"item-{j}" for j in range(i, i + 10))
+            assert bloom.fill_ratio >= previous
+            previous = bloom.fill_ratio
+
+    def test_false_positive_probability_estimate(self):
+        bloom = BloomFilter(num_bits=256, num_hashes=4)
+        assert bloom.false_positive_probability() == 0.0
+        bloom.update(f"i{i}" for i in range(64))
+        assert 0.0 < bloom.false_positive_probability() <= 1.0
+
+    def test_size_in_bytes_rounds_up(self):
+        assert BloomFilter(num_bits=9).size_in_bytes() == 2
+        assert BloomFilter(num_bits=16).size_in_bytes() == 2
+
+
+class TestSetOperations:
+    def test_union_contains_both_sides(self):
+        a = BloomFilter(num_bits=512, num_hashes=4)
+        b = BloomFilter(num_bits=512, num_hashes=4)
+        a.add("left")
+        b.add("right")
+        union = a.union(b)
+        assert "left" in union and "right" in union
+
+    def test_union_requires_compatible_filters(self):
+        a = BloomFilter(num_bits=512, num_hashes=4)
+        b = BloomFilter(num_bits=256, num_hashes=4)
+        with pytest.raises(ValueError):
+            a.union(b)
+
+    def test_copy_is_independent(self):
+        a = BloomFilter(num_bits=128)
+        a.add("x")
+        clone = a.copy()
+        clone.add("y")
+        assert "y" in clone
+        assert "y" not in a or a == clone  # adding to the clone must not alter the original bits
+        assert "x" in a
+
+    def test_equality_by_bits(self):
+        a = BloomFilter(num_bits=128, num_hashes=3)
+        b = BloomFilter(num_bits=128, num_hashes=3)
+        a.add("same")
+        b.add("same")
+        assert a == b
+        b.add("more")
+        assert a != b
+
+    def test_equality_with_other_types(self):
+        assert BloomFilter(num_bits=8) != "not a filter"
+
+    def test_repr_mentions_size(self):
+        assert "bits=128" in repr(BloomFilter(num_bits=128))

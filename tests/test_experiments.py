@@ -1,0 +1,174 @@
+"""Tests for the experiment driver and the per-figure experiment modules.
+
+These use a very small laptop-scale setup so each simulated run completes in
+well under a second while still exercising the full pipeline (topology →
+workload → client assignment → both CDN systems → metrics).
+"""
+
+import pytest
+
+from repro.core.churn import ChurnConfig
+from repro.experiments import (
+    run_churn_experiment,
+    run_gossip_length_sweep,
+    run_gossip_period_sweep,
+    run_hit_ratio_comparison,
+    run_locality_experiment,
+    run_push_threshold_sweep,
+    run_tradeoff_timeseries,
+    run_view_size_sweep,
+)
+from repro.experiments.driver import ExperimentRunner, ExperimentSetup
+from repro.experiments.gossip_tradeoff import format_sweep
+
+
+def tiny_setup(seed: int = 7, duration_s: float = 1200.0) -> ExperimentSetup:
+    return ExperimentSetup.laptop_scale(
+        seed=seed,
+        duration_s=duration_s,
+        query_rate_per_s=1.0,
+        num_websites=6,
+        active_websites=2,
+        objects_per_website=40,
+        num_localities=3,
+        max_content_overlay_size=15,
+        num_hosts=300,
+    )
+
+
+@pytest.fixture(scope="module")
+def shared_runner() -> ExperimentRunner:
+    return ExperimentRunner(tiny_setup())
+
+
+class TestExperimentSetup:
+    def test_paper_scale_matches_table1(self):
+        setup = ExperimentSetup.paper_scale()
+        assert setup.flower.num_websites == 100
+        assert setup.flower.num_localities == 6
+        assert setup.workload.query_rate_per_s == 6.0
+        assert setup.topology.num_hosts == 5000
+
+    def test_laptop_scale_preserves_ratios(self):
+        setup = tiny_setup()
+        assert setup.flower.num_websites == setup.workload.num_websites
+        assert setup.flower.num_localities == setup.topology.num_localities
+        assert setup.flower.active_websites == setup.workload.active_websites
+
+    def test_with_gossip_returns_new_setup(self):
+        setup = tiny_setup()
+        tuned = setup.with_gossip(gossip_length=20)
+        assert tuned.flower.gossip.gossip_length == 20
+        assert setup.flower.gossip.gossip_length == 10
+
+
+class TestExperimentRunner:
+    def test_resolved_queries_are_cached_and_sorted(self, shared_runner):
+        queries = shared_runner.resolved_queries()
+        assert queries is shared_runner.resolved_queries()
+        times = [q.time for q in queries]
+        assert times == sorted(times)
+        assert len(queries) > 500
+
+    def test_flower_and_squirrel_process_the_same_trace(self, shared_runner):
+        flower = shared_runner.run_flower()
+        squirrel = shared_runner.run_squirrel()
+        assert flower.num_queries == squirrel.num_queries == len(shared_runner.resolved_queries())
+
+    def test_flower_run_produces_consistent_aggregates(self, shared_runner):
+        result = shared_runner.run_flower()
+        assert 0.0 < result.hit_ratio < 1.0
+        assert result.average_lookup_latency_ms > 0
+        assert result.background_bps_per_peer > 0
+        assert result.metrics.num_queries == result.num_queries
+        assert len(result.summary_row()) == 6
+
+    def test_runs_are_deterministic_for_a_seed(self):
+        first = ExperimentRunner(tiny_setup(seed=3, duration_s=600.0)).run_flower()
+        second = ExperimentRunner(tiny_setup(seed=3, duration_s=600.0)).run_flower()
+        assert first.hit_ratio == second.hit_ratio
+        assert first.average_lookup_latency_ms == second.average_lookup_latency_ms
+
+    def test_different_seeds_differ(self):
+        first = ExperimentRunner(tiny_setup(seed=3, duration_s=600.0)).run_flower()
+        second = ExperimentRunner(tiny_setup(seed=4, duration_s=600.0)).run_flower()
+        assert (
+            first.hit_ratio != second.hit_ratio
+            or first.average_lookup_latency_ms != second.average_lookup_latency_ms
+        )
+
+
+class TestGossipSweeps:
+    def test_gossip_period_sweep_shapes(self):
+        """Table 2(b): shorter periods cost more bandwidth and help the hit ratio."""
+        rows = run_gossip_period_sweep(tiny_setup(), values=(120.0, 1800.0))
+        fast, slow = rows
+        assert fast.background_bps > slow.background_bps
+        assert fast.hit_ratio >= slow.hit_ratio
+
+    def test_gossip_length_sweep_shapes(self):
+        """Table 2(a): longer gossip messages cost proportionally more bandwidth."""
+        rows = run_gossip_length_sweep(tiny_setup(), values=(5, 20))
+        short, long = rows
+        assert long.background_bps > short.background_bps
+        assert long.hit_ratio >= short.hit_ratio - 0.05
+
+    def test_view_size_sweep_bandwidth_invariant(self):
+        """Table 2(c): the view size does not change bandwidth consumption."""
+        rows = run_view_size_sweep(tiny_setup(), values=(10, 50))
+        small, large = rows
+        assert small.background_bps == pytest.approx(large.background_bps, rel=0.15)
+
+    def test_push_threshold_sweep_is_insensitive(self):
+        rows = run_push_threshold_sweep(tiny_setup(), values=(0.1, 0.7))
+        low, high = rows
+        assert abs(low.hit_ratio - high.hit_ratio) < 0.1
+
+    def test_format_sweep_renders_rows(self):
+        rows = run_gossip_length_sweep(tiny_setup(duration_s=600.0), values=(5,))
+        text = format_sweep(rows, "Table 2(a)")
+        assert "Table 2(a)" in text and "Hit ratio" in text
+
+
+class TestFigureExperiments:
+    def test_tradeoff_timeseries_curves(self):
+        result = run_tradeoff_timeseries(tiny_setup())
+        assert result.hit_ratio_is_non_decreasing()
+        assert result.final_hit_ratio > 0.2
+        assert result.final_background_bps > 0
+        assert "Figure 5" in result.format()
+
+    def test_hit_ratio_comparison_shape(self):
+        """Figure 6: Squirrel converges faster; Flower-CDN trails at the end."""
+        result = run_hit_ratio_comparison(tiny_setup())
+        assert result.squirrel_final >= result.flower_final
+        assert result.final_gap >= 0
+        assert result.flower_curve and result.squirrel_curve
+        assert "Figure 6" in result.format()
+
+    def test_locality_experiment_shapes(self):
+        """Figures 7 and 8: Flower-CDN is faster to look up and closer to transfer."""
+        result = run_locality_experiment(tiny_setup())
+        assert result.lookup_latency_speedup > 1.5
+        assert result.transfer_distance_reduction > 1.5
+        assert result.flower_fraction_fast_lookups(300.0) > 0.3
+        assert (
+            result.flower_fraction_close_transfers(100.0)
+            > result.squirrel_fraction_close_transfers(100.0)
+        )
+        assert "Figure 7" in result.format_figure7()
+        assert "Figure 8" in result.format_figure8()
+
+    def test_churn_experiment_reports_recovery(self):
+        result = run_churn_experiment(
+            tiny_setup(),
+            churn=ChurnConfig(
+                content_failures_per_hour=60.0,
+                directory_failures_per_hour=6.0,
+                locality_changes_per_hour=12.0,
+            ),
+        )
+        assert result.baseline.num_queries == result.churned.num_queries
+        assert result.events_injected > 0
+        assert result.churned.hit_ratio > 0.1
+        assert "Churn ablation" in result.format()

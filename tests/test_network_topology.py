@@ -1,0 +1,106 @@
+"""Unit tests for the synthetic latency topology."""
+
+import pytest
+
+from repro.network.topology import Topology, TopologyConfig
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture
+def topology() -> Topology:
+    config = TopologyConfig(num_hosts=300, num_localities=4, intra_locality_spread_ms=20.0)
+    return Topology(config, RandomStreams(5))
+
+
+class TestTopologyConfig:
+    def test_rejects_invalid_host_count(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(num_hosts=0)
+
+    def test_rejects_invalid_latency_bounds(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(min_latency_ms=100.0, max_latency_ms=50.0)
+        with pytest.raises(ValueError):
+            TopologyConfig(min_latency_ms=0.0)
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(num_localities=3, locality_weights=(0.5, 0.5))
+
+    def test_default_weights_are_normalised_and_skewed(self):
+        config = TopologyConfig(num_localities=4)
+        weights = config.effective_weights()
+        assert sum(weights) == pytest.approx(1.0)
+        assert weights[0] > weights[-1]
+
+    def test_explicit_weights_are_normalised(self):
+        config = TopologyConfig(num_localities=2, locality_weights=(3.0, 1.0))
+        assert config.effective_weights() == pytest.approx((0.75, 0.25))
+
+
+class TestTopologyStructure:
+    def test_every_host_gets_a_locality(self, topology: Topology):
+        assert topology.num_hosts == 300
+        for host in topology.hosts():
+            assert 0 <= host.locality < topology.num_localities
+
+    def test_locality_populations_cover_all_hosts(self, topology: Topology):
+        populations = topology.locality_populations()
+        assert sum(populations.values()) == topology.num_hosts
+        assert set(populations) == set(range(topology.num_localities))
+
+    def test_populations_are_non_uniform_by_default(self, topology: Topology):
+        populations = topology.locality_populations()
+        assert max(populations.values()) > min(populations.values())
+
+    def test_hosts_in_locality_consistent_with_locality_of(self, topology: Topology):
+        for locality in range(topology.num_localities):
+            for host_id in topology.hosts_in_locality(locality):
+                assert topology.locality_of(host_id) == locality
+
+    def test_landmark_hosts_one_per_populated_locality(self, topology: Topology):
+        landmarks = topology.landmark_hosts()
+        assert len(landmarks) == topology.num_localities
+        assert len({topology.locality_of(l) for l in landmarks}) == topology.num_localities
+
+    def test_same_seed_reproduces_topology(self):
+        config = TopologyConfig(num_hosts=100, num_localities=3)
+        a = Topology(config, RandomStreams(9))
+        b = Topology(config, RandomStreams(9))
+        assert [h.locality for h in a.hosts()] == [h.locality for h in b.hosts()]
+        assert a.latency_ms(3, 77) == b.latency_ms(3, 77)
+
+
+class TestLatencies:
+    def test_latency_is_zero_to_self(self, topology: Topology):
+        assert topology.latency_ms(5, 5) == 0.0
+
+    def test_latency_is_symmetric(self, topology: Topology):
+        for a, b in [(0, 10), (3, 250), (100, 299)]:
+            assert topology.latency_ms(a, b) == pytest.approx(topology.latency_ms(b, a))
+
+    def test_latency_within_configured_bounds(self, topology: Topology):
+        config = topology.config
+        for a in range(0, 300, 37):
+            for b in range(1, 300, 41):
+                if a == b:
+                    continue
+                latency = topology.latency_ms(a, b)
+                assert config.min_latency_ms <= latency <= config.max_latency_ms
+
+    def test_intra_locality_latency_lower_than_inter(self, topology: Topology):
+        intra = topology.average_intra_locality_latency(0)
+        hosts_0 = topology.hosts_in_locality(0)
+        hosts_2 = topology.hosts_in_locality(2)
+        inter = sum(
+            topology.latency_ms(a, b) for a, b in zip(hosts_0[:50], hosts_2[:50])
+        ) / min(50, len(hosts_0), len(hosts_2))
+        assert intra < inter
+
+    def test_latency_is_deterministic_for_a_pair(self, topology: Topology):
+        assert topology.latency_ms(10, 20) == topology.latency_ms(10, 20)
+
+    def test_average_intra_latency_of_singleton_locality_is_zero(self):
+        config = TopologyConfig(num_hosts=1, num_localities=1)
+        topo = Topology(config, RandomStreams(1))
+        assert topo.average_intra_locality_latency(0) == 0.0

@@ -1,0 +1,98 @@
+"""Unit tests for the event queue primitives."""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue
+
+
+class TestEventOrdering:
+    def test_events_ordered_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, lambda: fired.append("b"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(3.0, lambda: fired.append("c"))
+        while queue:
+            queue.pop().callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        queue = EventQueue()
+        fired = []
+        for label in "abcde":
+            queue.push(5.0, lambda l=label: fired.append(l))
+        while queue:
+            queue.pop().callback()
+        assert fired == list("abcde")
+
+    def test_event_comparison_uses_time_then_sequence(self):
+        early = Event(time=1.0, sequence=5, callback=lambda: None)
+        late = Event(time=2.0, sequence=1, callback=lambda: None)
+        assert early < late
+        tie_a = Event(time=1.0, sequence=1, callback=lambda: None)
+        tie_b = Event(time=1.0, sequence=2, callback=lambda: None)
+        assert tie_a < tie_b
+
+
+class TestEventQueueOperations:
+    def test_len_reflects_live_events(self):
+        queue = EventQueue()
+        assert len(queue) == 0
+        e1 = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        queue.cancel(e1)
+        assert len(queue) == 1
+
+    def test_pop_skips_cancelled_events(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: "first")
+        queue.push(2.0, lambda: "second")
+        queue.cancel(first)
+        popped = queue.pop()
+        assert popped.time == 2.0
+
+    def test_pop_empty_returns_none(self):
+        queue = EventQueue()
+        assert queue.pop() is None
+
+    def test_peek_time_returns_next_live_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        first = queue.push(1.0, lambda: None)
+        queue.push(4.0, lambda: None)
+        assert queue.peek_time() == 1.0
+        queue.cancel(first)
+        assert queue.peek_time() == 4.0
+
+    def test_negative_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push(-1.0, lambda: None)
+
+    def test_cancel_twice_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.cancel(event)
+        queue.cancel(event)
+        assert len(queue) == 1
+
+    def test_clear_empties_the_queue(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.clear()
+        assert len(queue) == 0
+        assert queue.pop() is None
+
+    def test_event_label_preserved(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None, label="gossip")
+        assert event.label == "gossip"
+
+    def test_bool_protocol(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(0.0, lambda: None)
+        assert queue

@@ -1,0 +1,117 @@
+"""Unit tests for the website catalogue and the Zipf popularity sampler."""
+
+import random
+
+import pytest
+
+from repro.workload.catalog import Catalog, Website
+from repro.workload.zipf import ZipfSampler
+
+
+class TestWebsite:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Website(name="", num_objects=10)
+        with pytest.raises(ValueError):
+            Website(name="w.org", num_objects=0)
+
+    def test_object_ids_are_urls_of_the_site(self):
+        site = Website(name="w.org", num_objects=3)
+        assert site.object_id(0) == "http://w.org/object/0"
+        assert site.owns(site.object_id(2))
+        assert not site.owns("http://other.org/object/2")
+
+    def test_object_index_bounds(self):
+        site = Website(name="w.org", num_objects=3)
+        with pytest.raises(IndexError):
+            site.object_id(3)
+        with pytest.raises(IndexError):
+            site.object_id(-1)
+
+    def test_objects_iterates_all(self):
+        site = Website(name="w.org", num_objects=5)
+        assert len(list(site.objects())) == 5
+
+
+class TestCatalog:
+    def test_synthetic_catalog_shape(self):
+        catalog = Catalog.synthetic(num_websites=7, objects_per_website=11)
+        assert len(catalog) == 7
+        assert catalog.total_objects() == 77
+        assert len(catalog.names()) == 7
+
+    def test_synthetic_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            Catalog.synthetic(0, 10)
+
+    def test_duplicate_website_names_rejected(self):
+        site = Website(name="dup.org", num_objects=1)
+        with pytest.raises(ValueError):
+            Catalog(websites=[site, Website(name="dup.org", num_objects=2)])
+
+    def test_website_lookup(self):
+        catalog = Catalog.synthetic(3, 5)
+        name = catalog.names()[1]
+        assert catalog.website(name).name == name
+        assert name in catalog
+        with pytest.raises(KeyError):
+            catalog.website("missing.org")
+
+    def test_website_of_object(self):
+        catalog = Catalog.synthetic(3, 5)
+        site = catalog.websites[2]
+        assert catalog.website_of_object(site.object_id(4)).name == site.name
+        with pytest.raises(KeyError):
+            catalog.website_of_object("http://unknown.org/object/0")
+
+
+class TestZipfSampler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, alpha=-1)
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(50, alpha=0.8)
+        total = sum(sampler.probability(rank) for rank in range(50))
+        assert total == pytest.approx(1.0)
+
+    def test_probability_decreases_with_rank(self):
+        sampler = ZipfSampler(100, alpha=0.8)
+        probabilities = [sampler.probability(rank) for rank in range(100)]
+        assert all(a >= b for a, b in zip(probabilities, probabilities[1:]))
+
+    def test_probability_rank_bounds(self):
+        sampler = ZipfSampler(10)
+        with pytest.raises(IndexError):
+            sampler.probability(10)
+
+    def test_samples_within_population(self):
+        sampler = ZipfSampler(20, alpha=1.0)
+        rng = random.Random(3)
+        ranks = sampler.sample_many(rng, 500)
+        assert all(0 <= rank < 20 for rank in ranks)
+
+    def test_low_ranks_dominate_samples(self):
+        sampler = ZipfSampler(100, alpha=0.8)
+        rng = random.Random(3)
+        ranks = sampler.sample_many(rng, 3000)
+        top_ten = sum(1 for rank in ranks if rank < 10)
+        assert top_ten / len(ranks) > 0.3  # heavy head, as in web workloads
+
+    def test_alpha_zero_is_uniform(self):
+        sampler = ZipfSampler(4, alpha=0.0)
+        for rank in range(4):
+            assert sampler.probability(rank) == pytest.approx(0.25)
+
+    def test_expected_unique_fraction_monotone(self):
+        sampler = ZipfSampler(50, alpha=0.8)
+        fractions = [sampler.expected_unique_fraction(n) for n in (0, 10, 100, 1000)]
+        assert fractions[0] == 0.0
+        assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+        assert fractions[-1] <= 1.0
+
+    def test_expected_unique_fraction_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(5).expected_unique_fraction(-1)
