@@ -1,0 +1,34 @@
+# Development entry points for the Flower-CDN reproduction.
+#
+# The simulation code lives under src/; everything runs against it via
+# PYTHONPATH so no installation step is needed.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test goldens check-goldens bench-smoke bench scenarios
+
+## tier-1 test suite (unit + property + scenario + golden tests + benchmarks)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## regenerate the committed golden-metrics files after an intentional change
+goldens:
+	$(PYTHON) -m repro.scenarios.golden --update
+
+## standalone golden verification (CI runs this in addition to `test`)
+check-goldens:
+	$(PYTHON) -m repro.scenarios.golden
+
+## fast benchmark subset: parameter table + the headline Figure 6 comparison
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/test_table1_parameters.py \
+		benchmarks/test_fig6_hit_ratio_comparison.py -q
+
+## the full figure/table benchmark suite (laptop scale)
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+## list the scenario library
+scenarios:
+	$(PYTHON) -m repro.cli scenarios list

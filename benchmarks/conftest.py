@@ -22,8 +22,9 @@ SRC = Path(__file__).parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from repro.core.config import HOUR  # noqa: E402
 from repro.experiments.driver import ExperimentSetup  # noqa: E402
+from repro.scenarios.library import get_scenario, paper_default_full_scale  # noqa: E402
+from repro.scenarios.spec import ScenarioSpec  # noqa: E402
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:
@@ -36,21 +37,23 @@ def pytest_addoption(parser: pytest.Parser) -> None:
 
 
 @pytest.fixture(scope="session")
-def bench_setup(request: pytest.FixtureRequest) -> ExperimentSetup:
+def bench_scenario(request: pytest.FixtureRequest) -> ScenarioSpec:
+    """The library scenario every benchmark harness is configured from.
+
+    ``paper-default`` *is* the Table 1 parameter set at laptop scale — the
+    scenario library is the single source of truth for these parameters.
+    """
+    return get_scenario("paper-default")
+
+
+@pytest.fixture(scope="session")
+def bench_setup(
+    request: pytest.FixtureRequest, bench_scenario: ScenarioSpec
+) -> ExperimentSetup:
     """The experiment configuration shared by all benchmark harnesses."""
     if request.config.getoption("--paper-scale"):
-        return ExperimentSetup.paper_scale(seed=42)
-    return ExperimentSetup.laptop_scale(
-        seed=42,
-        duration_s=3 * HOUR,
-        query_rate_per_s=2.0,
-        num_websites=20,
-        active_websites=2,
-        objects_per_website=200,
-        num_localities=3,
-        max_content_overlay_size=40,
-        num_hosts=600,
-    )
+        return paper_default_full_scale(seed=42)
+    return bench_scenario.to_setup()
 
 
 @pytest.fixture

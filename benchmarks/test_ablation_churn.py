@@ -9,13 +9,17 @@ injection and checks that the recovery mechanisms keep the system usable.
 
 from repro.core.churn import ChurnConfig
 from repro.experiments.churn import run_churn_experiment
+from repro.scenarios.library import get_scenario
 
 
 def test_ablation_churn_resilience(benchmark, bench_setup, report):
+    # Churn rates come from the library's heavy-churn scenario, halved: the
+    # ablation measures graceful degradation, not the stress ceiling.
+    heavy = get_scenario("heavy-churn").churn
     churn = ChurnConfig(
-        content_failures_per_hour=30.0,
-        directory_failures_per_hour=3.0,
-        locality_changes_per_hour=6.0,
+        content_failures_per_hour=heavy.content_failures_per_hour / 2,
+        directory_failures_per_hour=heavy.directory_failures_per_hour / 2,
+        locality_changes_per_hour=heavy.locality_changes_per_hour / 2,
     )
 
     result = benchmark.pedantic(

@@ -8,6 +8,7 @@ suite) so the remaining benchmarks can be interpreted against it.
 
 from repro.core.config import FlowerConfig
 from repro.metrics.report import format_table
+from repro.scenarios.library import get_scenario
 
 
 def test_table1_simulation_parameters(benchmark, bench_setup, report):
@@ -33,3 +34,9 @@ def test_table1_simulation_parameters(benchmark, bench_setup, report):
     assert paper["Nb of websites (|W|)"] == 100
     assert paper["View size (Vgossip)"] == 50
     assert used["Nb of localities (k)"] == bench_setup.flower.num_localities
+
+    # The benchmark parameters are sourced from the scenario library
+    # (paper-default is the single source of truth for this table).
+    scenario = get_scenario("paper-default")
+    assert used["Nb of websites (|W|)"] in (scenario.num_websites, 100)
+    assert used["Gossip period (Tgossip, s)"] == scenario.gossip_period_s

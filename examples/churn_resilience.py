@@ -12,31 +12,16 @@ performed.
 Run with:  python examples/churn_resilience.py
 """
 
-from repro.core.churn import ChurnConfig
-from repro.core.config import HOUR
-from repro.experiments import ExperimentSetup, run_churn_experiment
-
-
-def build_setup() -> ExperimentSetup:
-    return ExperimentSetup.laptop_scale(
-        seed=23,
-        duration_s=3 * HOUR,
-        query_rate_per_s=2.0,
-        num_websites=12,
-        active_websites=2,
-        objects_per_website=150,
-        num_localities=3,
-        max_content_overlay_size=30,
-    )
+from repro.experiments import run_churn_experiment
+from repro.scenarios import get_scenario
 
 
 def main() -> None:
-    setup = build_setup()
-    churn = ChurnConfig(
-        content_failures_per_hour=30.0,   # volunteer peers crash or leave
-        directory_failures_per_hour=3.0,  # occasionally a directory peer dies
-        locality_changes_per_hour=6.0,    # peers move between localities
-    )
+    # Both the workload and the churn rates come from the library's
+    # heavy-churn scenario (scaled down a little for a snappier example).
+    spec = get_scenario("heavy-churn").scaled(0.7).with_seed(23)
+    setup = spec.to_setup()
+    churn = spec.churn.to_config()
 
     print("Injected churn rates (events per hour over the whole system):")
     print(f"  content-peer failures : {churn.content_failures_per_hour:g}")

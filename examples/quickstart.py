@@ -10,26 +10,20 @@ distance and background gossip traffic.
 Run with:  python examples/quickstart.py
 """
 
-from repro import ExperimentRunner, ExperimentSetup
 from repro.metrics.report import format_table
+from repro.scenarios import ScenarioRunner, get_scenario
 
 
 def main() -> None:
-    # A scaled-down configuration that keeps the paper's parameter ratios
-    # (Table 1) but finishes in a couple of seconds on a laptop.
-    setup = ExperimentSetup.laptop_scale(
-        seed=42,
-        duration_s=2 * 3600,       # two simulated hours
-        query_rate_per_s=2.0,      # aggregate query rate
-        num_websites=20,           # |W|; only `active_websites` of them get queries
-        active_websites=2,
-        objects_per_website=200,
-        num_localities=3,          # k
-        max_content_overlay_size=40,  # Sco
-    )
+    # The canonical laptop-scale configuration lives in the scenario library:
+    # `paper-default` keeps the paper's parameter ratios (Table 1) but
+    # finishes in a couple of seconds.  `scaled()` shrinks it further.
+    spec = get_scenario("paper-default").scaled(0.67)  # ≈ two simulated hours
 
-    runner = ExperimentRunner(setup)
-    result = runner.run_flower()
+    scenario_runner = ScenarioRunner(spec, seed=42)
+    scenario_result = scenario_runner.run()
+    runner = scenario_runner.experiment
+    result = scenario_result.flower.run
 
     print("Flower-CDN quickstart")
     print("=====================")

@@ -13,21 +13,14 @@ topology.  The example prints the three comparisons the paper plots:
 Run with:  python examples/squirrel_comparison.py
 """
 
-from repro.core.config import HOUR
 from repro.experiments import ExperimentSetup, run_hit_ratio_comparison, run_locality_experiment
+from repro.scenarios import get_scenario
 
 
 def build_setup() -> ExperimentSetup:
-    return ExperimentSetup.laptop_scale(
-        seed=11,
-        duration_s=3 * HOUR,
-        query_rate_per_s=2.0,
-        num_websites=20,
-        active_websites=2,
-        objects_per_website=200,
-        num_localities=3,
-        max_content_overlay_size=40,
-    )
+    # The head-to-head workload is a library scenario; the experiment modules
+    # below extract the per-figure curves from the same setup.
+    return get_scenario("squirrel-head-to-head").with_seed(11).to_setup()
 
 
 def main() -> None:

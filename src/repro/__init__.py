@@ -13,7 +13,9 @@ The package is organised bottom-up:
 * :mod:`repro.baselines` — the Squirrel comparison system;
 * :mod:`repro.metrics` — hit ratio, lookup latency, transfer distance and
   background-traffic collectors;
-* :mod:`repro.experiments` — the harness regenerating every table and figure.
+* :mod:`repro.experiments` — the harness regenerating every table and figure;
+* :mod:`repro.scenarios` — declarative named scenarios, the deterministic
+  scenario runner and the golden-metrics regression facility.
 
 Quickstart::
 
@@ -32,6 +34,15 @@ from repro.baselines.squirrel import Squirrel, SquirrelConfig, SquirrelStrategy
 from repro.experiments.driver import ExperimentRunner, ExperimentSetup, RunResult
 from repro.metrics.collectors import MetricsCollector, QueryOutcome, QueryRecord
 from repro.network.topology import Topology, TopologyConfig
+from repro.scenarios import (
+    ChurnProfile,
+    ScenarioResult,
+    ScenarioRunner,
+    ScenarioSpec,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
 from repro.sim.engine import Simulator
 from repro.workload.generator import Query, QueryGenerator, WorkloadConfig
 
@@ -55,6 +66,13 @@ __all__ = [
     "QueryRecord",
     "Topology",
     "TopologyConfig",
+    "ChurnProfile",
+    "ScenarioSpec",
+    "ScenarioRunner",
+    "ScenarioResult",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
     "Simulator",
     "Query",
     "QueryGenerator",

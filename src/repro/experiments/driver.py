@@ -198,6 +198,14 @@ class ExperimentRunner:
 
     # -- runs -------------------------------------------------------------------------
 
+    def _replay_trace(self, sim: Simulator, system) -> float:
+        """Schedule the shared trace against ``system`` and run to the horizon."""
+        for query in self.resolved_queries():
+            sim.at(query.time, lambda q=query: system.handle_query(q), label="query")
+        duration = self.setup.flower.simulation_duration_s
+        sim.run(until=duration)
+        return duration
+
     def run_flower(
         self,
         churn: Optional[ChurnConfig] = None,
@@ -209,7 +217,7 @@ class ExperimentRunner:
         the active-replication extension (both off by default, matching the
         configuration the paper evaluates).
         """
-        queries = self.resolved_queries()
+        self.resolved_queries()  # build the trace before the live system exists
         sim, system = self._build_flower()
         injector = None
         if churn is not None and churn.is_enabled:
@@ -219,10 +227,7 @@ class ExperimentRunner:
         if replication is not None:
             replicator = ActiveReplicator(system, replication)
             replicator.start()
-        for query in queries:
-            sim.at(query.time, lambda q=query: system.handle_query(q), label="query")
-        duration = self.setup.flower.simulation_duration_s
-        sim.run(until=duration)
+        duration = self._replay_trace(sim, system)
         if injector is not None:
             injector.stop()
         if replicator is not None:
@@ -245,16 +250,14 @@ class ExperimentRunner:
 
     def run_squirrel(self) -> RunResult:
         """Run the Squirrel baseline over the same trace."""
-        queries = self.resolved_queries()
-        duration = self.setup.flower.simulation_duration_s
-        sim = Simulator(seed=self.setup.seed, end_time=duration)
+        sim = Simulator(
+            seed=self.setup.seed, end_time=self.setup.flower.simulation_duration_s
+        )
         system = Squirrel(
             self.setup.squirrel, sim, self.topology, latency_model=LatencyModel(self.topology)
         )
         system.bootstrap()
-        for query in queries:
-            sim.at(query.time, lambda q=query: system.handle_query(q), label="query")
-        sim.run(until=duration)
+        duration = self._replay_trace(sim, system)
         metrics = system.metrics
         return RunResult(
             system_name="Squirrel",

@@ -1,0 +1,44 @@
+"""Deterministic scenario harness.
+
+A *scenario* is a declarative, named description of one end-to-end workload
+(:class:`~repro.scenarios.spec.ScenarioSpec`); the
+:class:`~repro.scenarios.runner.ScenarioRunner` composes the simulator,
+topology and CDN systems from it and returns a structured, byte-for-byte
+reproducible :class:`~repro.scenarios.runner.ScenarioResult`.  The library
+(:mod:`repro.scenarios.library`) names the canonical workloads, and
+:mod:`repro.scenarios.golden` pins their headline metrics against committed
+golden files.
+"""
+
+from repro.scenarios.spec import ChurnProfile, ScenarioSpec
+from repro.scenarios.runner import (
+    ScenarioResult,
+    ScenarioRunner,
+    SystemResult,
+    run_scenario,
+)
+from repro.scenarios.library import (
+    PAPER_DEFAULT,
+    get_scenario,
+    iter_scenarios,
+    paper_default_full_scale,
+    register_scenario,
+    scenario_names,
+    unregister_scenario,
+)
+
+__all__ = [
+    "ChurnProfile",
+    "ScenarioSpec",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "SystemResult",
+    "run_scenario",
+    "PAPER_DEFAULT",
+    "get_scenario",
+    "iter_scenarios",
+    "paper_default_full_scale",
+    "register_scenario",
+    "scenario_names",
+    "unregister_scenario",
+]

@@ -1,0 +1,270 @@
+"""Golden-metrics regression facility.
+
+Every library scenario has a committed golden file (``tests/goldens/<name>.json``)
+holding its rounded metrics digest at a fixed reduced scale and seed.  The
+golden suite re-runs each scenario and compares the fresh digest against the
+committed one **with per-metric tolerances**, so any refactor of the hot path
+(``core/system.py``, ``sim/engine.py``, overlay routing, workload generation)
+is regression-checked end to end:
+
+* a pure refactor reproduces the digest exactly (runs are deterministic);
+* a small intentional behaviour change stays inside the tolerances;
+* a real regression (hit ratio collapse, latency blow-up, lost queries)
+  fails with a per-metric diff.
+
+Workflow::
+
+    python -m repro.scenarios.golden --check            # CI / make test
+    python -m repro.scenarios.golden --update           # refresh after an
+                                                        # intentional change
+    python -m repro.cli scenarios run NAME --check-golden
+
+``make goldens`` wraps ``--update``.  See ``docs/scenarios.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.scenarios.library import get_scenario, scenario_names
+from repro.scenarios.runner import ScenarioResult, run_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+#: scale factor applied to library scenarios when producing goldens — small
+#: enough that the whole suite runs in seconds, large enough that the paper's
+#: qualitative behaviour (warm-up, locality gains) is still visible
+GOLDEN_SCALE = 0.25
+#: the seed golden digests are pinned to
+GOLDEN_SEED = 42
+#: decimal places kept in golden digests
+GOLDEN_PRECISION = 6
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Acceptance band for one metric: ``|actual - expected|`` must not
+    exceed ``max(absolute, relative * |expected|)``."""
+
+    relative: float = 0.0
+    absolute: float = 0.0
+
+    def allows(self, expected: float, actual: float) -> bool:
+        return abs(actual - expected) <= max(self.absolute, self.relative * abs(expected))
+
+
+EXACT = Tolerance()
+
+#: default per-metric tolerances; anything not listed is compared exactly,
+#: and ``fraction_*`` metrics share the FRACTION band
+DEFAULT_TOLERANCES: Dict[str, Tolerance] = {
+    "num_queries": EXACT,  # the trace itself must not change silently
+    "hit_ratio": Tolerance(absolute=0.02),
+    "average_lookup_latency_ms": Tolerance(relative=0.05, absolute=5.0),
+    "average_transfer_distance_ms": Tolerance(relative=0.05, absolute=5.0),
+    "background_bps_per_peer": Tolerance(relative=0.05, absolute=1.0),
+    "redirection_failures": Tolerance(relative=0.25, absolute=10.0),
+    "average_overlay_hops": Tolerance(relative=0.10, absolute=0.2),
+    # phase aggregates are means over few windows, hence slightly looser
+    "phase:hit_ratio": Tolerance(absolute=0.03),
+    "phase:lookup_latency_ms": Tolerance(relative=0.08, absolute=10.0),
+    "phase:transfer_distance_ms": Tolerance(relative=0.08, absolute=10.0),
+}
+FRACTION_TOLERANCE = Tolerance(absolute=0.02)
+
+
+def _tolerance_for(metric: str, phase: bool = False) -> Tolerance:
+    if metric.startswith("fraction_"):
+        return FRACTION_TOLERANCE
+    key = f"phase:{metric}" if phase else metric
+    return DEFAULT_TOLERANCES.get(key, EXACT)
+
+
+# -- locations ---------------------------------------------------------------
+
+
+def default_golden_dir() -> Path:
+    """``tests/goldens`` of this checkout (overridable via REPRO_GOLDEN_DIR)."""
+    override = os.environ.get("REPRO_GOLDEN_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "tests" / "goldens"
+
+
+def golden_path(name: str, golden_dir: Optional[Path] = None) -> Path:
+    directory = golden_dir if golden_dir is not None else default_golden_dir()
+    return directory / f"{name}.json"
+
+
+# -- producing digests -------------------------------------------------------
+
+
+def golden_spec(name: str) -> ScenarioSpec:
+    """The library scenario at the scale goldens are pinned to."""
+    return get_scenario(name).scaled(GOLDEN_SCALE)
+
+
+def compute_golden_digest(name: str) -> Dict[str, object]:
+    """Run ``name`` at golden scale/seed and return the digest to commit."""
+    result = run_scenario(golden_spec(name), seed=GOLDEN_SEED)
+    return result_digest(result)
+
+
+def result_digest(result: ScenarioResult, scale: float = GOLDEN_SCALE) -> Dict[str, object]:
+    digest = result.metrics_digest(precision=GOLDEN_PRECISION)
+    digest["scale"] = scale
+    return digest
+
+
+def write_golden(name: str, golden_dir: Optional[Path] = None) -> Path:
+    path = golden_path(name, golden_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    digest = compute_golden_digest(name)
+    path.write_text(json.dumps(digest, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def load_golden(name: str, golden_dir: Optional[Path] = None) -> Dict[str, object]:
+    path = golden_path(name, golden_dir)
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no golden committed for scenario {name!r} (expected {path}); "
+            f"run `python -m repro.scenarios.golden --update {name}`"
+        )
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+# -- comparison --------------------------------------------------------------
+
+
+def compare_digests(
+    expected: Dict[str, object], actual: Dict[str, object]
+) -> List[str]:
+    """Per-metric differences between two digests (empty list = match)."""
+    mismatches: List[str] = []
+    for field in ("scenario", "seed", "scale"):
+        if expected.get(field) != actual.get(field):
+            mismatches.append(
+                f"{field}: golden={expected.get(field)!r} actual={actual.get(field)!r}"
+            )
+    expected_systems = expected.get("systems", {})
+    actual_systems = actual.get("systems", {})
+    for system in sorted(set(expected_systems) | set(actual_systems)):
+        if system not in actual_systems:
+            mismatches.append(f"{system}: missing from the fresh run")
+            continue
+        if system not in expected_systems:
+            mismatches.append(f"{system}: not present in the golden")
+            continue
+        mismatches.extend(
+            _compare_metric_block(
+                expected_systems[system].get("metrics", {}),
+                actual_systems[system].get("metrics", {}),
+                prefix=f"{system}.metrics",
+                phase=False,
+            )
+        )
+        expected_phases = expected_systems[system].get("phases", {})
+        actual_phases = actual_systems[system].get("phases", {})
+        for phase in sorted(set(expected_phases) | set(actual_phases)):
+            mismatches.extend(
+                _compare_metric_block(
+                    expected_phases.get(phase, {}),
+                    actual_phases.get(phase, {}),
+                    prefix=f"{system}.phases.{phase}",
+                    phase=True,
+                )
+            )
+    return mismatches
+
+
+def _compare_metric_block(
+    expected: Dict[str, float], actual: Dict[str, float], prefix: str, phase: bool
+) -> List[str]:
+    mismatches: List[str] = []
+    for metric in sorted(set(expected) | set(actual)):
+        if metric.startswith("fraction_"):
+            # Outcome fractions only appear in a digest when the outcome was
+            # observed at least once; a rare outcome drifting to/from zero is
+            # an ordinary tolerance question, not a missing metric.
+            if not FRACTION_TOLERANCE.allows(
+                float(expected.get(metric, 0.0)), float(actual.get(metric, 0.0))
+            ):
+                mismatches.append(
+                    f"{prefix}.{metric}: golden={expected.get(metric, 0.0)} "
+                    f"actual={actual.get(metric, 0.0)} "
+                    f"(tolerance abs={FRACTION_TOLERANCE.absolute})"
+                )
+            continue
+        if metric not in actual:
+            mismatches.append(f"{prefix}.{metric}: missing from the fresh run")
+            continue
+        if metric not in expected:
+            mismatches.append(f"{prefix}.{metric}: not present in the golden")
+            continue
+        tolerance = _tolerance_for(metric, phase=phase)
+        if not tolerance.allows(float(expected[metric]), float(actual[metric])):
+            mismatches.append(
+                f"{prefix}.{metric}: golden={expected[metric]} actual={actual[metric]} "
+                f"(tolerance rel={tolerance.relative} abs={tolerance.absolute})"
+            )
+    return mismatches
+
+
+def verify_golden(name: str, golden_dir: Optional[Path] = None) -> List[str]:
+    """Re-run ``name`` at golden scale and diff against the committed file."""
+    expected = load_golden(name, golden_dir)
+    actual = compute_golden_digest(name)
+    return compare_digests(expected, actual)
+
+
+# -- command line (used by `make goldens` / CI) ------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro.scenarios.golden",
+        description="check or regenerate the committed golden-metrics files",
+    )
+    parser.add_argument("names", nargs="*", help="scenario names (default: all)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the goldens instead of checking them")
+    parser.add_argument("--golden-dir", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    names = list(args.names) if args.names else scenario_names()
+    unknown = [name for name in names if name not in scenario_names()]
+    if unknown:
+        print(f"error: unknown scenario(s): {', '.join(unknown)}; "
+              f"known scenarios: {', '.join(scenario_names())}", file=out)
+        return 2
+    failures = 0
+    for name in names:
+        if args.update:
+            path = write_golden(name, args.golden_dir)
+            print(f"updated {path}", file=out)
+            continue
+        try:
+            mismatches = verify_golden(name, args.golden_dir)
+        except FileNotFoundError as error:
+            print(f"FAIL {name}: {error}", file=out)
+            failures += 1
+            continue
+        if mismatches:
+            failures += 1
+            print(f"FAIL {name}:", file=out)
+            for mismatch in mismatches:
+                print(f"  {mismatch}", file=out)
+        else:
+            print(f"ok   {name}", file=out)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    raise SystemExit(main())

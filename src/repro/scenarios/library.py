@@ -1,0 +1,174 @@
+"""The named scenario library.
+
+Each entry is a :class:`~repro.scenarios.spec.ScenarioSpec` describing one
+workload the system must keep handling well.  All library scenarios are
+defined at *laptop scale* — the Table 1 parameter ratios shrunk so a run
+finishes in a couple of seconds — because that is the scale the golden
+regression suite and CI exercise; ``spec.scaled(factor)`` reaches other
+scales (``paper_default_full_scale()`` returns the genuine Table 1 setup).
+
+Use :func:`get_scenario` / :func:`scenario_names` to consume the library and
+:func:`register_scenario` to extend it (e.g. from a plugin or a test).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.core.config import HOUR, MINUTE
+from repro.experiments.driver import ExperimentSetup
+from repro.scenarios.spec import ChurnProfile, ScenarioSpec
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, overwrite: bool = False) -> ScenarioSpec:
+    """Add ``spec`` to the library under ``spec.name``."""
+    if spec.name in _REGISTRY and not overwrite:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a scenario (used by tests that register temporary scenarios)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}") from None
+
+
+def scenario_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def iter_scenarios() -> Iterator[ScenarioSpec]:
+    for name in scenario_names():
+        yield _REGISTRY[name]
+
+
+# -- the built-in library ----------------------------------------------------
+
+#: canonical laptop-scale baseline: Table 1 ratios, gossip at the paper's
+#: chosen operating point (Tgossip = 30 min, Lgossip = 10, Vgossip = 50)
+PAPER_DEFAULT = register_scenario(
+    ScenarioSpec(
+        name="paper-default",
+        description=(
+            "Table 1 configuration at laptop scale: the canonical Flower-CDN "
+            "run every figure and golden is anchored to."
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="flash-crowd",
+        description=(
+            "One website absorbs a sudden, highly skewed burst: a single "
+            "active website, 3x the query rate and a steep Zipf law stress "
+            "overlay admission and the push/summary path."
+        ),
+        duration_s=90 * MINUTE,
+        query_rate_per_s=6.0,
+        active_websites=1,
+        zipf_alpha=1.1,
+        max_content_overlay_size=25,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="heavy-churn",
+        description=(
+            "Section 5 mechanisms under sustained stress: frequent content-"
+            "peer failures, directory failures and locality changes."
+        ),
+        churn=ChurnProfile(
+            content_failures_per_hour=60.0,
+            directory_failures_per_hour=6.0,
+            locality_changes_per_hour=12.0,
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="cold-start",
+        description=(
+            "The early regime before gossip has converged: a short run whose "
+            "gossip period equals half the duration, so almost every query "
+            "meets an empty view."
+        ),
+        duration_s=1 * HOUR,
+        gossip_period_s=30 * MINUTE,
+        warmup_fraction=0.25,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="squirrel-head-to-head",
+        description=(
+            "Figures 6-8 in one scenario: Flower-CDN and Squirrel process the "
+            "exact same trace; hit ratio, lookup latency and transfer "
+            "distance are directly comparable."
+        ),
+        systems=("flower", "squirrel"),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="large-catalog",
+        description=(
+            "A wider, flatter workload: 3x the websites with 6 active ones "
+            "and a gentler Zipf law dilute per-overlay locality."
+        ),
+        num_websites=60,
+        active_websites=6,
+        objects_per_website=150,
+        zipf_alpha=0.7,
+        duration_s=2 * HOUR,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="multi-locality",
+        description=(
+            "Six non-uniformly populated localities (the paper's k) with a "
+            "strongly skewed client distribution: exercises remote-overlay "
+            "redirection between sparse and dense localities."
+        ),
+        num_localities=6,
+        num_hosts=900,
+        locality_weights=(8.0, 4.0, 2.0, 1.0, 0.5, 0.5),
+        duration_s=2 * HOUR,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="gossip-starved",
+        description=(
+            "Knowledge dissemination nearly disabled: a 2-hour gossip period, "
+            "short messages and tiny views leave queries to the directory "
+            "machinery alone — the lower bound of Table 2."
+        ),
+        gossip_period_s=2 * HOUR,
+        gossip_length=5,
+        view_size=10,
+        duration_s=2 * HOUR,
+    )
+)
+
+
+def paper_default_full_scale(seed: int = 42) -> ExperimentSetup:
+    """The genuine Table 1 setup (24 h, 5000 hosts) for paper-scale runs."""
+    return ExperimentSetup.paper_scale(seed=seed)

@@ -1,0 +1,248 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` captures *everything* one end-to-end simulated run
+needs — topology size, catalogue, workload skew, gossip parameters, churn
+profile, duration and seed — as a single frozen dataclass.  Specs are the
+single source of truth for experiment configurations: the CLI, the benchmark
+suite, the examples and the golden-metrics regression tests all build their
+:class:`~repro.experiments.driver.ExperimentSetup` through
+:meth:`ScenarioSpec.to_setup` instead of repeating parameter dicts.
+
+Specs are value objects: :meth:`ScenarioSpec.scaled` derives a smaller (or
+larger) variant that preserves the parameter ratios, and ``dataclasses.replace``
+covers ad-hoc tweaks.  The named library of specs lives in
+:mod:`repro.scenarios.library`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.baselines.squirrel import SquirrelConfig
+from repro.core.churn import ChurnConfig
+from repro.core.config import HOUR, MINUTE, FlowerConfig, GossipConfig
+from repro.experiments.driver import ExperimentSetup
+from repro.network.topology import TopologyConfig
+from repro.workload.generator import WorkloadConfig
+
+#: system identifiers a scenario may ask to run
+KNOWN_SYSTEMS = ("flower", "squirrel")
+
+
+@dataclass(frozen=True)
+class ChurnProfile:
+    """Churn rates of a scenario (events per hour over the whole system)."""
+
+    content_failures_per_hour: float = 0.0
+    directory_failures_per_hour: float = 0.0
+    locality_changes_per_hour: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "content_failures_per_hour",
+            "directory_failures_per_hour",
+            "locality_changes_per_hour",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def is_enabled(self) -> bool:
+        return (
+            self.content_failures_per_hour > 0
+            or self.directory_failures_per_hour > 0
+            or self.locality_changes_per_hour > 0
+        )
+
+    def to_config(self) -> Optional[ChurnConfig]:
+        """The injector configuration, or ``None`` when the profile is idle."""
+        if not self.is_enabled:
+            return None
+        return ChurnConfig(
+            content_failures_per_hour=self.content_failures_per_hour,
+            directory_failures_per_hour=self.directory_failures_per_hour,
+            locality_changes_per_hour=self.locality_changes_per_hour,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-specified simulation scenario.
+
+    The defaults reproduce the repository's canonical laptop scale (the
+    Table 1 parameter ratios shrunk so one run finishes in a couple of
+    seconds); ``scaled(factor)`` shrinks or grows a spec while keeping those
+    ratios.
+    """
+
+    name: str
+    description: str = ""
+
+    # -- underlying network ------------------------------------------------
+    num_hosts: int = 600
+    num_localities: int = 3
+
+    # -- catalogue and overlays --------------------------------------------
+    num_websites: int = 20
+    active_websites: int = 2
+    objects_per_website: int = 200
+    max_content_overlay_size: int = 40
+
+    # -- workload ----------------------------------------------------------
+    query_rate_per_s: float = 2.0
+    zipf_alpha: float = 0.8
+    arrival_process: str = "poisson"
+    locality_weights: Tuple[float, ...] = ()
+
+    # -- gossip ------------------------------------------------------------
+    gossip_period_s: float = 30 * MINUTE
+    gossip_length: int = 10
+    view_size: int = 50
+    push_threshold: float = 0.1
+    keepalive_period_s: Optional[float] = None  # None: same as gossip_period_s
+
+    # -- churn -------------------------------------------------------------
+    churn: ChurnProfile = field(default_factory=ChurnProfile)
+
+    # -- run ---------------------------------------------------------------
+    duration_s: float = 3 * HOUR
+    metrics_window_s: Optional[float] = None  # None: duration_s / 12
+    seed: int = 42
+    #: which systems the scenario runs, in order ("flower", "squirrel")
+    systems: Tuple[str, ...] = ("flower",)
+    #: fraction of the run treated as warm-up when splitting phase metrics
+    warmup_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if not self.systems:
+            raise ValueError("a scenario must run at least one system")
+        for system in self.systems:
+            if system not in KNOWN_SYSTEMS:
+                raise ValueError(
+                    f"unknown system {system!r}; expected one of {KNOWN_SYSTEMS}"
+                )
+        if len(set(self.systems)) != len(self.systems):
+            raise ValueError("systems must not repeat")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        if self.keepalive_period_s is not None and self.keepalive_period_s <= 0:
+            raise ValueError("keepalive_period_s must be positive or None")
+        if self.metrics_window_s is not None and self.metrics_window_s <= 0:
+            raise ValueError("metrics_window_s must be positive or None")
+        if self.churn.is_enabled and "squirrel" in self.systems:
+            # The Squirrel baseline has no churn-injection support; allowing
+            # it here would silently present an unfair comparison (churned
+            # Flower-CDN vs churn-free Squirrel) as same-conditions.
+            raise ValueError("churn profiles only apply to 'flower' scenarios")
+        # The remaining fields are validated by the config objects they feed
+        # (FlowerConfig, WorkloadConfig, TopologyConfig) in to_setup(); build
+        # them eagerly so an invalid spec fails at construction time.
+        self.to_setup()
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def effective_metrics_window_s(self) -> float:
+        if self.metrics_window_s is not None:
+            return self.metrics_window_s
+        return max(60.0, self.duration_s / 12.0)
+
+    @property
+    def effective_keepalive_period_s(self) -> float:
+        if self.keepalive_period_s is not None:
+            return self.keepalive_period_s
+        return self.gossip_period_s
+
+    @property
+    def warmup_s(self) -> float:
+        """Absolute warm-up horizon separating the two metric phases."""
+        return self.warmup_fraction * self.duration_s
+
+    def locality_bits(self) -> int:
+        """Identifier bits needed to encode ``num_localities`` (min. 3)."""
+        return max(3, math.ceil(math.log2(max(2, self.num_localities))))
+
+    # -- construction of the runtime configuration -------------------------
+
+    def to_flower_config(self, seed: Optional[int] = None) -> FlowerConfig:
+        return FlowerConfig(
+            num_websites=self.num_websites,
+            active_websites=self.active_websites,
+            objects_per_website=self.objects_per_website,
+            num_localities=self.num_localities,
+            max_content_overlay_size=self.max_content_overlay_size,
+            locality_bits=self.locality_bits(),
+            gossip=GossipConfig(
+                gossip_period_s=self.gossip_period_s,
+                view_size=self.view_size,
+                gossip_length=self.gossip_length,
+                push_threshold=self.push_threshold,
+                keepalive_period_s=self.effective_keepalive_period_s,
+            ),
+            simulation_duration_s=self.duration_s,
+            metrics_window_s=self.effective_metrics_window_s,
+            seed=self.seed if seed is None else seed,
+        )
+
+    def to_setup(self, seed: Optional[int] = None) -> ExperimentSetup:
+        """Compose the :class:`ExperimentSetup` this scenario describes."""
+        flower = self.to_flower_config(seed=seed)
+        return ExperimentSetup(
+            flower=flower,
+            topology=TopologyConfig(
+                num_hosts=self.num_hosts,
+                num_localities=self.num_localities,
+                locality_weights=self.locality_weights,
+            ),
+            workload=WorkloadConfig(
+                num_websites=self.num_websites,
+                active_websites=self.active_websites,
+                objects_per_website=self.objects_per_website,
+                num_localities=self.num_localities,
+                query_rate_per_s=self.query_rate_per_s,
+                zipf_alpha=self.zipf_alpha,
+                arrival_process=self.arrival_process,
+                locality_weights=self.locality_weights,
+            ),
+            squirrel=SquirrelConfig(metrics_window_s=flower.metrics_window_s),
+            seed=self.seed if seed is None else seed,
+        )
+
+    # -- derivation --------------------------------------------------------
+
+    def scaled(self, factor: float) -> "ScenarioSpec":
+        """A ratio-preserving smaller/larger variant of this scenario.
+
+        Population sizes, catalogue sizes and the duration shrink linearly
+        with ``factor`` (bounded below so the result stays a valid, meaningful
+        simulation); rates, skews and gossip parameters are scale-free and
+        stay untouched.  Used by the golden-metrics suite and the fast tests.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        num_websites = max(self.active_websites, round(self.num_websites * factor))
+        return replace(
+            self,
+            num_hosts=max(60, round(self.num_hosts * factor)),
+            num_websites=num_websites,
+            objects_per_website=max(20, round(self.objects_per_website * factor)),
+            max_content_overlay_size=max(8, round(self.max_content_overlay_size * factor)),
+            duration_s=max(900.0, self.duration_s * factor),
+            metrics_window_s=None,
+        )
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        return replace(self, seed=seed)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable description (recorded in golden files)."""
+        data = asdict(self)
+        data["systems"] = list(self.systems)
+        data["locality_weights"] = list(self.locality_weights)
+        return data

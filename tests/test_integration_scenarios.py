@@ -1,0 +1,73 @@
+"""Integration: the paper's qualitative head-to-head claims, locked in.
+
+Runs the ``squirrel-head-to-head`` scenario (the paper-default workload with
+both systems over the *same* resolved trace) once at a moderate scale and
+asserts the Section 6 comparison figures qualitatively:
+
+* Figure 6 — Squirrel's cumulative hit ratio converges faster and finishes
+  at or above Flower-CDN's (the paper reports a ≈13 % gap after 24 h), while
+  Flower-CDN still relieves the origin server at steady state;
+* Figure 7 — Flower-CDN's average lookup latency is strictly below
+  Squirrel's (the paper reports ≈9×);
+* Figure 8 — Flower-CDN's average transfer distance is strictly below
+  Squirrel's (the paper reports ≈2×), because content is served from the
+  requester's own locality.
+"""
+
+import pytest
+
+from repro.scenarios import get_scenario, run_scenario
+
+
+@pytest.fixture(scope="module")
+def head_to_head():
+    return run_scenario(get_scenario("squirrel-head-to-head").scaled(0.25), seed=42)
+
+
+def test_both_systems_process_the_same_trace(head_to_head):
+    flower = head_to_head.flower.metrics
+    squirrel = head_to_head.squirrel.metrics
+    assert flower["num_queries"] == squirrel["num_queries"] > 1000
+
+
+def test_fig6_hit_ratio_shape(head_to_head):
+    flower = head_to_head.flower
+    squirrel = head_to_head.squirrel
+
+    # Squirrel searches the whole overlay, so it converges faster/higher.
+    assert squirrel.metrics["hit_ratio"] >= flower.metrics["hit_ratio"]
+
+    # Both cumulative curves rise, and Flower-CDN's steady-state hit ratio
+    # strictly exceeds its warm-up hit ratio and stays useful (> 0.5).
+    for system in (flower, squirrel):
+        curve = [value for _, value in system.series["hit_ratio_cumulative"]]
+        assert curve[-1] > curve[0]
+    assert flower.phases["steady"]["hit_ratio"] > flower.phases["warmup"]["hit_ratio"]
+    assert flower.phases["steady"]["hit_ratio"] > 0.5
+
+
+def test_fig7_flower_lookup_latency_strictly_beats_squirrel(head_to_head):
+    flower = head_to_head.flower.metrics
+    squirrel = head_to_head.squirrel.metrics
+    assert flower["average_lookup_latency_ms"] < squirrel["average_lookup_latency_ms"]
+    # The steady-state gap is substantial (paper: ≈9×; require ≥ 2× here).
+    assert (
+        head_to_head.flower.phases["steady"]["lookup_latency_ms"] * 2.0
+        < head_to_head.squirrel.phases["steady"]["lookup_latency_ms"]
+    )
+
+
+def test_fig8_flower_transfer_distance_strictly_beats_squirrel(head_to_head):
+    flower = head_to_head.flower.metrics
+    squirrel = head_to_head.squirrel.metrics
+    assert (
+        flower["average_transfer_distance_ms"] < squirrel["average_transfer_distance_ms"]
+    )
+
+
+def test_locality_hits_dominate_at_steady_state(head_to_head):
+    """Flower-CDN's wins come from serving within the requester's locality."""
+    flower = head_to_head.flower.metrics
+    assert flower["fraction_local_overlay_hit"] > flower.get(
+        "fraction_remote_overlay_hit", 0.0
+    )

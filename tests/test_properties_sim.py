@@ -1,0 +1,148 @@
+"""Property-based tests of the discrete-event simulator.
+
+Complements ``tests/test_properties.py`` (data-structure properties) with the
+engine invariants the whole reproduction rests on:
+
+* events never fire out of time order, whatever order they were scheduled in;
+* ``events_fired`` / ``pending_events`` bookkeeping is conserved under
+  randomized scheduling, cancellation and nested (re-entrant) scheduling;
+* an end-time horizon is never overshot.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+#: randomized schedules: (delay, reschedule_extra_delay or None to cancel-free)
+delays = st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=0, max_size=60)
+
+
+@given(delays)
+def test_events_fire_in_nondecreasing_time_order(schedule):
+    sim = Simulator(seed=1)
+    fired = []
+    for delay in schedule:
+        sim.after(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(schedule)
+
+
+@given(delays)
+def test_events_fired_plus_pending_is_conserved(schedule):
+    """Every scheduled event is either fired or still pending, never both/neither."""
+    sim = Simulator(seed=1)
+    for delay in schedule:
+        sim.after(delay, lambda: None)
+    assert sim.pending_events == len(schedule)
+    assert sim.events_fired == 0
+    while sim.events_fired + sim.pending_events == len(schedule):
+        if not sim.step():
+            break
+    assert sim.events_fired == len(schedule)
+    assert sim.pending_events == 0
+
+
+@given(delays, st.floats(min_value=0.0, max_value=1000.0))
+def test_horizon_is_never_overshot(schedule, horizon):
+    sim = Simulator(seed=1, end_time=horizon)
+    fired_times = []
+    for delay in schedule:
+        sim.after(delay, lambda: fired_times.append(sim.now))
+    end = sim.run()
+    assert all(t <= horizon for t in fired_times)
+    assert sim.now <= horizon
+    # Events within the horizon all fired; the ones beyond it never will.
+    expected = sum(1 for d in schedule if d <= horizon)
+    assert len(fired_times) == expected
+    assert end == sim.now
+
+
+@given(delays, st.data())
+def test_reentrant_scheduling_preserves_time_order(schedule, data):
+    """Callbacks that schedule further events keep the clock monotonic."""
+    sim = Simulator(seed=1, end_time=2000.0)
+    fired = []
+
+    def make_callback(depth):
+        def callback():
+            fired.append(sim.now)
+            if depth > 0:
+                extra = data.draw(
+                    st.floats(min_value=0.0, max_value=100.0), label="extra delay"
+                )
+                sim.after(extra, make_callback(depth - 1))
+
+        return callback
+
+    for delay in schedule[:20]:
+        sim.after(delay, make_callback(2))
+    sim.run()
+    assert fired == sorted(fired)
+    assert sim.pending_events == 0
+    assert sim.events_fired == len(fired)
+
+
+@given(delays, st.sets(st.integers(min_value=0, max_value=59)))
+def test_cancelled_events_never_fire(schedule, to_cancel):
+    sim = Simulator(seed=1)
+    fired = []
+    events = [
+        sim.after(delay, lambda i=i: fired.append(i)) for i, delay in enumerate(schedule)
+    ]
+    cancelled = {i for i in to_cancel if i < len(events)}
+    for index in cancelled:
+        sim.cancel(events[index])
+    sim.run()
+    assert set(fired).isdisjoint(cancelled)
+    assert len(fired) == len(schedule) - len(cancelled)
+    fired_times = [schedule[i] for i in fired]
+    assert fired_times == sorted(fired_times)
+
+
+@settings(max_examples=25)
+@given(
+    st.floats(min_value=0.1, max_value=100.0),
+    st.floats(min_value=10.0, max_value=2000.0),
+)
+def test_periodic_handles_fire_the_exact_expected_count(period, horizon):
+    sim = Simulator(seed=1, end_time=horizon)
+    handle = sim.call_every(period, lambda: None)
+    sim.run()
+    # Fire times are accumulated sums, so allow one tick of float drift
+    # around the ideal horizon/period count.
+    assert abs(handle.fired - horizon / period) <= 1.0
+    assert sim.events_fired == handle.fired
+
+
+def test_scheduling_in_the_past_is_rejected():
+    sim = Simulator(seed=1)
+    sim.after(10.0, lambda: None)
+    sim.run()
+    assert sim.now == 10.0
+    with pytest.raises(SimulationError):
+        sim.at(5.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.after(-1.0, lambda: None)
+
+
+@given(delays)
+def test_stop_freezes_the_simulation_mid_run(schedule):
+    sim = Simulator(seed=1)
+    fired = []
+    stop_after = len(schedule) // 2
+
+    def record(index):
+        fired.append(index)
+        if len(fired) == stop_after:
+            sim.stop()
+
+    for i, delay in enumerate(schedule):
+        sim.after(delay, lambda i=i: record(i))
+    sim.run()
+    if schedule and stop_after:
+        assert len(fired) == stop_after
+        assert sim.pending_events == len(schedule) - stop_after
