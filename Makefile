@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test goldens check-goldens bench-smoke bench scenarios
+.PHONY: test goldens check-goldens bench-smoke bench scenarios perf perf-check perf-baseline
 
 ## tier-1 test suite (unit + property + scenario + golden tests + benchmarks)
 test:
@@ -32,3 +32,15 @@ bench:
 ## list the scenario library
 scenarios:
 	$(PYTHON) -m repro.cli scenarios list
+
+## run the perf-benchmark suite; writes ./BENCH_core.json (see docs/performance.md)
+perf:
+	$(PYTHON) -m repro.cli perf
+
+## perf suite + regression gate against the committed baseline (what CI runs)
+perf-check:
+	$(PYTHON) -m repro.cli perf --check
+
+## refresh the committed perf baseline (benchmarks/perf/BENCH_core.json)
+perf-baseline:
+	$(PYTHON) -m repro.cli perf --update-baseline

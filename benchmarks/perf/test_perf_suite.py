@@ -1,0 +1,125 @@
+"""Smoke tests of the perf-benchmark suite (`repro perf`).
+
+These run the suite in its shrunken --quick configuration so CI exercises the
+whole pipeline — microbenchmarks, scenario benchmarks, JSON document, and the
+baseline regression gate — in a few seconds.  The real, tracked numbers live
+in the committed ``BENCH_core.json`` next to this file.
+"""
+
+import copy
+import io
+import json
+
+from repro import cli
+from repro.perf import suite
+
+
+class TestRunSuite:
+    def test_quick_suite_document_schema(self):
+        document = suite.run_suite(scenarios=["paper-default"], quick=True)
+        assert document["schema"] == suite.SCHEMA_VERSION
+        assert document["quick"] is True
+        micro = document["micro"]
+        for key in (
+            "event_core",
+            "event_cancellation",
+            "periodic_rescheduling",
+            "latency_cache",
+            "zipf",
+        ):
+            assert key in micro, key
+        assert micro["event_core"]["events_per_s"] > 0
+        assert micro["latency_cache"]["cache_hits"] > micro["latency_cache"]["cache_misses"]
+        assert micro["zipf"]["alias_draws_per_s"] > 0
+        scenario = document["scenarios"]["paper-default"]
+        assert scenario["events_per_s"] > 0
+        assert scenario["queries_per_s"] > 0
+        assert scenario["wall_s"] > 0
+        assert scenario["events_fired"] > scenario["num_queries"] > 0
+
+    def test_scenario_benchmark_deterministic_event_counts(self):
+        first = suite.bench_scenario("paper-default", scale=0.25, repeats=1)
+        second = suite.bench_scenario("paper-default", scale=0.25, repeats=1)
+        assert first["events_fired"] == second["events_fired"]
+        assert first["num_queries"] == second["num_queries"]
+
+
+class TestBaselineComparison:
+    def _document(self):
+        return {
+            "schema": suite.SCHEMA_VERSION,
+            "micro": {"event_core": {"events_per_s": 100_000.0}},
+            "scenarios": {"paper-default": {"events_per_s": 50_000.0}},
+        }
+
+    def test_identical_runs_pass(self):
+        document = self._document()
+        assert suite.compare_to_baseline(document, copy.deepcopy(document)) == []
+
+    def test_regression_beyond_threshold_fails(self):
+        baseline = self._document()
+        fresh = copy.deepcopy(baseline)
+        fresh["scenarios"]["paper-default"]["events_per_s"] = 30_000.0
+        failures = suite.compare_to_baseline(fresh, baseline)
+        assert failures and "paper-default" in failures[0]
+
+    def test_uniformly_slower_machine_passes(self):
+        """A machine running everything 2x slower is not a regression."""
+        baseline = self._document()
+        fresh = copy.deepcopy(baseline)
+        fresh["micro"]["event_core"]["events_per_s"] = 50_000.0
+        fresh["scenarios"]["paper-default"]["events_per_s"] = 25_000.0
+        assert suite.compare_to_baseline(fresh, baseline) == []
+
+    def test_missing_scenario_fails(self):
+        baseline = self._document()
+        fresh = copy.deepcopy(baseline)
+        del fresh["scenarios"]["paper-default"]
+        failures = suite.compare_to_baseline(fresh, baseline)
+        assert failures and "missing" in failures[0]
+
+    def test_committed_baseline_loads_and_has_headline_scenario(self):
+        baseline = suite.load_baseline()
+        assert "paper-default" in baseline["scenarios"]
+        assert baseline["scenarios"]["paper-default"]["events_per_s"] > 0
+
+
+class TestCli:
+    def test_perf_quick_writes_document(self, tmp_path):
+        output = tmp_path / "BENCH_core.json"
+        buffer = io.StringIO()
+        code = cli.main(
+            ["perf", "--quick", "--output", str(output), "--scenarios", "paper-default"],
+            out=buffer,
+        )
+        assert code == 0
+        document = json.loads(output.read_text())
+        assert "paper-default" in document["scenarios"]
+
+    def test_perf_check_against_self(self, tmp_path, monkeypatch):
+        """--check against a baseline produced by the same configuration passes."""
+        baseline = tmp_path / "baseline.json"
+        buffer = io.StringIO()
+        code = cli.main(
+            ["perf", "--quick", "--output", str(baseline), "--scenarios", "paper-default"],
+            out=buffer,
+        )
+        assert code == 0
+        code = cli.main(
+            [
+                "perf", "--quick", "--scenarios", "paper-default",
+                "--output", "-", "--check", "--baseline", str(baseline),
+            ],
+            out=io.StringIO(),
+        )
+        assert code == 0
+
+    def test_perf_invalid_repeats_rejected(self):
+        assert cli.main(["perf", "--repeats", "0"], out=io.StringIO()) == 2
+
+    def test_update_baseline_with_check_rejected(self):
+        """--update-baseline --check would vacuously compare a run to itself."""
+        code = cli.main(
+            ["perf", "--quick", "--update-baseline", "--check"], out=io.StringIO()
+        )
+        assert code == 2

@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.core.churn import ChurnConfig
@@ -39,7 +40,9 @@ from repro.experiments.gossip_tradeoff import (
 )
 from repro.experiments.locality import run_locality_experiment
 from repro.metrics.report import format_table
+from repro import perf as perf_module
 from repro.scenarios import golden as golden_module
+from repro.scenarios import parallel as parallel_module
 from repro.scenarios.library import get_scenario, iter_scenarios
 from repro.scenarios.runner import run_scenario
 from repro.scenarios.spec import ScenarioSpec
@@ -66,9 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
     verbs = scenarios.add_subparsers(dest="verb", required=True)
     verbs.add_parser("list", help="list the scenario library")
     run_verb = verbs.add_parser(
-        "run", help="run one library scenario and print its metrics digest as JSON"
+        "run", help="run one library scenario (or --all) and print metrics JSON"
     )
-    run_verb.add_argument("name", help="scenario name (see `scenarios list`)")
+    run_verb.add_argument("name", nargs="?", default=None,
+                          help="scenario name (see `scenarios list`)")
+    run_verb.add_argument("--all", action="store_true",
+                          help="run every scenario of the library")
+    run_verb.add_argument("--jobs", type=int, default=None, metavar="N",
+                          help="worker processes for --all (default: CPU count)")
     run_verb.add_argument("--seed", type=int, default=None,
                           help="override the scenario's seed")
     run_verb.add_argument("--scale", type=float, default=1.0,
@@ -81,6 +89,30 @@ def build_parser() -> argparse.ArgumentParser:
     run_verb.add_argument("--update-goldens", "--update-golden",
                           dest="update_goldens", action="store_true",
                           help="rewrite the scenario's committed golden file")
+
+    perf = subparsers.add_parser(
+        "perf", help="run the perf-benchmark suite and emit BENCH_core.json"
+    )
+    perf.add_argument("--output", type=str, default="BENCH_core.json",
+                      help="where to write the benchmark document "
+                           "(default: ./BENCH_core.json; '-' for stdout only)")
+    perf.add_argument("--scenarios", type=str, default=",".join(perf_module.DEFAULT_SCENARIOS),
+                      help="comma-separated scenario names to benchmark")
+    perf.add_argument("--scale", type=float, default=1.0,
+                      help="scenario scale factor (default 1.0)")
+    perf.add_argument("--repeats", type=int, default=3,
+                      help="best-of repetitions per benchmark (default 3)")
+    perf.add_argument("--quick", action="store_true",
+                      help="shrunken smoke configuration (CI / tests)")
+    perf.add_argument("--check", action="store_true",
+                      help="compare against the committed baseline and fail on "
+                           "calibrated events/sec regressions > "
+                           f"{perf_module.REGRESSION_THRESHOLD:.0%}")
+    perf.add_argument("--baseline", type=str, default=None,
+                      help="baseline path for --check (default: the committed "
+                           "benchmarks/perf/BENCH_core.json)")
+    perf.add_argument("--update-baseline", action="store_true",
+                      help="write the results to the committed baseline path")
     return parser
 
 
@@ -209,11 +241,58 @@ def _command_scenarios_list(out) -> int:
     return 0
 
 
+def _command_scenarios_run_all(args: argparse.Namespace, out) -> int:
+    """The ``scenarios run --all [--jobs N]`` path (parallel execution)."""
+    if args.name is not None:
+        print("error: --all cannot be combined with a scenario name", file=sys.stderr)
+        return 2
+    if args.table or args.update_goldens:
+        print("error: --all supports JSON digests and --check-golden only",
+              file=sys.stderr)
+        return 2
+    if args.jobs is not None and args.jobs <= 0:
+        print("error: --jobs must be positive", file=sys.stderr)
+        return 2
+    if args.check_golden:
+        if args.seed is not None or args.scale != 1.0:
+            print("error: golden digests are pinned to the golden scale and "
+                  "seed; --seed/--scale cannot be combined with --check-golden",
+                  file=sys.stderr)
+            return 2
+        results = parallel_module.check_goldens(jobs=args.jobs)
+        failures = 0
+        for name, mismatches in results.items():
+            if mismatches:
+                failures += 1
+                print(f"FAIL {name}:", file=out)
+                for mismatch in mismatches:
+                    print(f"  {mismatch}", file=out)
+            else:
+                print(f"ok   {name}", file=out)
+        return 1 if failures else 0
+    if args.scale <= 0:
+        print("error: --scale must be positive", file=sys.stderr)
+        return 2
+    digests = parallel_module.run_scenarios(
+        jobs=args.jobs, seed=args.seed, scale=args.scale
+    )
+    print(json.dumps(digests, indent=2, sort_keys=True), file=out)
+    return 0
+
+
 def _command_scenarios_run(args: argparse.Namespace, out) -> int:
+    if args.all:
+        return _command_scenarios_run_all(args, out)
+    if args.name is None:
+        print("error: a scenario name (or --all) is required", file=sys.stderr)
+        return 2
     try:
         spec = get_scenario(args.name)
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    if args.jobs is not None:
+        print("error: --jobs only applies to --all", file=sys.stderr)
         return 2
     if (args.update_goldens or args.check_golden) and (
         args.seed is not None or args.scale != 1.0 or args.table
@@ -255,6 +334,54 @@ def _command_scenarios_run(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_perf(args: argparse.Namespace, out) -> int:
+    """The ``perf`` verb: run the suite, optionally gate against the baseline."""
+    if args.repeats <= 0:
+        print("error: --repeats must be positive", file=sys.stderr)
+        return 2
+    if args.scale <= 0:
+        print("error: --scale must be positive", file=sys.stderr)
+        return 2
+    if args.update_baseline and args.check:
+        # --check compares against the committed baseline; combining the two
+        # would overwrite it first and then vacuously compare a run to itself.
+        print("error: --update-baseline cannot be combined with --check; "
+              "check first, then refresh the baseline", file=sys.stderr)
+        return 2
+    scenario_names_arg = [name for name in args.scenarios.split(",") if name]
+    document = perf_module.run_suite(
+        scenarios=scenario_names_arg,
+        scale=args.scale,
+        repeats=args.repeats,
+        quick=args.quick,
+    )
+    if args.update_baseline:
+        path = perf_module.suite.write_document(
+            document, perf_module.default_baseline_path()
+        )
+        print(f"updated baseline {path}", file=out)
+    if args.output and args.output != "-":
+        path = perf_module.suite.write_document(document, Path(args.output))
+        print(f"wrote {path}", file=out)
+    print(json.dumps(document, indent=2, sort_keys=True), file=out)
+    if args.check:
+        baseline_path = Path(args.baseline) if args.baseline else None
+        try:
+            baseline = perf_module.suite.load_baseline(baseline_path)
+        except FileNotFoundError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        failures = perf_module.compare_to_baseline(document, baseline)
+        if failures:
+            print("PERF REGRESSION:", file=out)
+            for failure in failures:
+                print(f"  {failure}", file=out)
+            return 1
+        print("perf check ok (no calibrated events/sec regression "
+              f"> {perf_module.REGRESSION_THRESHOLD:.0%})", file=out)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """Entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -263,6 +390,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         if args.verb == "list":
             return _command_scenarios_list(out)
         return _command_scenarios_run(args, out)
+    if args.command == "perf":
+        return _command_perf(args, out)
     setup = setup_from_args(args)
     handlers = {
         "run": _command_run,

@@ -15,13 +15,17 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import FlowerConfig
 from repro.datastructures.aged_view import AgedEntry, AgedView
-from repro.datastructures.bloom import BloomFilter
+from repro.datastructures.bloom import BloomFilter, entries_maybe_containing
 from repro.datastructures.lru import LRUCache
 from repro.workload.catalog import ObjectId
+
+#: C-level sort key for "youngest first, contact as tie-break" orderings
+_AGE_THEN_CONTACT = attrgetter("age", "contact")
 
 
 @dataclass(frozen=True)
@@ -69,6 +73,10 @@ class ContentPeer:
     _pending_added: Set[ObjectId] = field(default_factory=set, init=False, repr=False)
     _pending_removed: Set[ObjectId] = field(default_factory=set, init=False, repr=False)
     _summary_cache: Optional[BloomFilter] = field(default=None, init=False, repr=False)
+    #: True once the cached summary has been handed out (gossip messages and
+    #: view entries hold references); further changes must copy-on-write so
+    #: escaped snapshots never mutate.
+    _summary_escaped: bool = field(default=False, init=False, repr=False)
     alive: bool = field(default=True, init=False)
     #: statistics used by tests and experiment diagnostics
     gossip_initiated: int = field(default=0, init=False)
@@ -117,24 +125,42 @@ class ContentPeer:
     def _record_change(
         self, added: Optional[ObjectId] = None, removed: Optional[ObjectId] = None
     ) -> None:
-        self._summary_cache = None
         if added is not None:
+            # Bloom filters are add-only, so the cached summary can absorb a
+            # new object incrementally instead of being rebuilt from scratch
+            # (bit-identical result: OR is commutative and each object is
+            # recorded exactly once).  If the cache has escaped — a gossip
+            # message or a partner's view holds a reference — mutate a copy,
+            # so handed-out summaries stay the snapshots they were.
+            cache = self._summary_cache
+            if cache is not None:
+                if self._summary_escaped:
+                    cache = cache.copy()
+                    self._summary_cache = cache
+                    self._summary_escaped = False
+                cache.add(added)
             self._pending_removed.discard(added)
             self._pending_added.add(added)
         if removed is not None:
+            # Removal cannot be expressed on a Bloom filter: force a rebuild.
+            self._summary_cache = None
+            self._summary_escaped = False
             self._pending_added.discard(removed)
             self._pending_removed.add(removed)
 
     def content_summary(self) -> BloomFilter:
         """The current content summary (a Bloom filter of all stored object IDs).
 
-        The filter is rebuilt lazily: it is cached until the content list
-        changes, which keeps frequent gossip rounds cheap.
+        The filter is maintained incrementally: newly stored objects are added
+        in place (copy-on-write once a reference has been handed out), and a
+        full rebuild only happens after a drop.  Callers receive a snapshot:
+        summaries embedded in gossip messages never change retroactively.
         """
         if self._summary_cache is None:
             self._summary_cache = BloomFilter.from_items(
                 self._objects, num_bits=self.config.summary_bits
             )
+        self._summary_escaped = True
         return self._summary_cache
 
     # -- view management ------------------------------------------------------
@@ -179,12 +205,10 @@ class ContentPeer:
         consults the view.  Candidates are ordered youngest entry first since
         fresher summaries are less likely to be stale.
         """
-        candidates = [
-            entry
-            for entry in self._view.entries()
-            if entry.payload is not None and entry.payload.might_contain(object_id)
-        ]
-        candidates.sort(key=lambda entry: (entry.age, entry.contact))
+        # Hot path: probe every summary with one precomputed mask instead of
+        # one membership call per view entry.
+        candidates = entries_maybe_containing(self._view, object_id)
+        candidates.sort(key=_AGE_THEN_CONTACT)
         return [entry.contact for entry in candidates]
 
     # -- Algorithm 4: gossip behaviour ----------------------------------------------
@@ -228,14 +252,21 @@ class ContentPeer:
     # -- Algorithm 5: push behaviour ---------------------------------------------------
 
     def pending_change_fraction(self) -> float:
-        """Fraction of the content list affected by unpushed changes."""
+        """Fraction of the content list affected by unpushed changes.
+
+        NOTE: ``FlowerCDN._maybe_push`` inlines this computation (together
+        with :meth:`needs_push`) on its hot path — keep the two in sync.
+        """
         if not self._objects and not self._pending_removed:
             return 0.0
         base = max(1, len(self._objects))
         return (len(self._pending_added) + len(self._pending_removed)) / base
 
     def needs_push(self) -> bool:
-        """True when the accumulated changes reach the push threshold."""
+        """True when the accumulated changes reach the push threshold.
+
+        NOTE: inlined by ``FlowerCDN._maybe_push`` — keep the two in sync.
+        """
         changes = len(self._pending_added) + len(self._pending_removed)
         if changes == 0:
             return False

@@ -52,6 +52,8 @@ class KeyScheme:
         self._locality_bits = locality_bits
         self._replica_bits = replica_bits
         self._idspace = IdSpace(website_bits + locality_bits + replica_bits)
+        self._decode_cache: dict = {}
+        self._website_id_cache: dict = {}
 
     # -- properties ----------------------------------------------------------
 
@@ -88,8 +90,14 @@ class KeyScheme:
 
     def website_id(self, website_url: str) -> int:
         """Hash a website URL into the ``m2``-bit website-ID subspace."""
+        cached = self._website_id_cache.get(website_url)
+        if cached is not None:
+            return cached
         digest = hashlib.sha1(website_url.encode("utf-8")).digest()
-        return int.from_bytes(digest, "big") % self.max_websites
+        website_id = int.from_bytes(digest, "big") % self.max_websites
+        if len(self._website_id_cache) < 1 << 16:
+            self._website_id_cache[website_url] = website_id
+        return website_id
 
     def encode(self, website_id: int, locality: int, replica: int = 0) -> int:
         """Concatenate website, locality (and replica) IDs into a peer ID / search key."""
@@ -116,15 +124,23 @@ class KeyScheme:
     # -- decoding ---------------------------------------------------------------
 
     def decode(self, identifier: int) -> DRingKey:
+        # Pure function of the identifier; routing decodes the same handful of
+        # directory IDs on every hop, so memoise the immutable results.
+        cached = self._decode_cache.get(identifier)
+        if cached is not None:
+            return cached
         self._idspace.validate(identifier)
         replica = identifier & (self.max_replicas - 1)
         base = identifier >> self._replica_bits
-        return DRingKey(
+        key = DRingKey(
             website_id=base >> self._locality_bits,
             locality_id=base & (self.max_localities - 1),
             raw=identifier,
             replica_id=replica,
         )
+        if len(self._decode_cache) < 1 << 16:
+            self._decode_cache[identifier] = key
+        return key
 
     def website_id_of(self, identifier: int) -> int:
         return self.decode(identifier).website_id

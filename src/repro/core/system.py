@@ -89,6 +89,24 @@ class FlowerCDN:
             substrate = PastryRing(self.keys.idspace)
         else:
             substrate = None  # DRing defaults to Chord, as in the paper's evaluation
+        # Bind the latency oracles once: these run on every lookup hop, and a
+        # direct bound method skips an intermediate Python frame per call.
+        self._peer_latency = self.latency.latency_ms
+        self._host_latency = self.topology.latency_ms
+        # Per-query constants, bound once instead of chased through attribute
+        # chains in the hottest function (`_handle_content_peer_query`).
+        self._max_redirects = config.max_redirection_attempts
+        self._server_latency_ms = self.latency.server_latency_ms
+        self._directory_fallback = config.content_miss_fallback == "directory"
+        # Fixed-size background messages, priced once instead of per tick.
+        self._gossip_message_bytes = config.message_sizes.gossip_message_bytes(
+            config.summary_bits, config.gossip.gossip_length
+        )
+        self._keepalive_bytes = config.message_sizes.keepalive_bytes()
+        self._summary_refresh_bytes = config.message_sizes.summary_refresh_bytes(
+            config.summary_bits
+        )
+        self._gossip_subset_rng = sim.streams.stream("gossip:subset")
         self.dring = DRing(self.keys, latency_callback=self._peer_latency, ring=substrate)
         self.metrics = MetricsCollector(window_s=config.metrics_window_s)
         self.bandwidth = BandwidthAccountant(window_s=config.metrics_window_s)
@@ -106,11 +124,8 @@ class FlowerCDN:
 
     # ------------------------------------------------------------------ utils
 
-    def _peer_latency(self, peer_a: str, peer_b: str) -> float:
-        return self.latency.latency_ms(peer_a, peer_b)
-
-    def _host_latency(self, host_a: int, host_b: int) -> float:
-        return self.topology.latency_ms(host_a, host_b)
+    # `_peer_latency` and `_host_latency` are bound in __init__ directly to
+    # the underlying oracles (see above).
 
     @property
     def reserved_hosts(self) -> Set[int]:
@@ -217,10 +232,10 @@ class FlowerCDN:
         """Process one client query and record its metrics."""
         if not self._bootstrapped:
             raise RuntimeError("call bootstrap() before handling queries")
-        peer_key = (query.website, query.client_host)
-        existing_id = self._content_by_host.get(peer_key)
-        if existing_id is not None and existing_id in self._content_peers:
-            record = self._handle_content_peer_query(self._content_peers[existing_id], query)
+        existing_id = self._content_by_host.get((query.website, query.client_host))
+        peer = self._content_peers.get(existing_id) if existing_id is not None else None
+        if peer is not None:
+            record = self._handle_content_peer_query(peer, query)
         else:
             record = self._handle_new_client_query(query)
         self.metrics.record(record)
@@ -230,7 +245,9 @@ class FlowerCDN:
 
     def _handle_content_peer_query(self, peer: ContentPeer, query: ResolvedQuery) -> QueryRecord:
         object_id = query.object_id
-        if peer.has_object(object_id):
+        # Direct set membership: has_object() costs a Python frame per probe
+        # and this is the single hottest branch of the whole simulation.
+        if object_id in peer._objects:
             return QueryRecord(
                 query_id=query.query_id,
                 time=query.time,
@@ -244,19 +261,21 @@ class FlowerCDN:
 
         latency = 0.0
         failures = 0
+        host_latency = self._host_latency
+        peer_host = peer.host_id
         candidates = peer.resolve_locally(object_id)
-        for contact in candidates[: self.config.max_redirection_attempts]:
+        for contact in candidates[: self._max_redirects]:
             provider = self._content_peers.get(contact)
-            latency += self._host_latency(peer.host_id, self._host_of_contact(contact, peer))
+            latency += host_latency(peer_host, self._host_of_contact(contact, peer))
             if provider is None or not provider.alive:
                 peer.forget_contact(contact)
                 failures += 1
                 continue
-            if not provider.has_object(object_id):
+            if object_id not in provider._objects:
                 # Stale or false-positive summary: a redirection failure.
                 failures += 1
                 continue
-            distance = self._host_latency(peer.host_id, provider.host_id)
+            distance = host_latency(peer_host, provider.host_id)
             self._after_served(peer, object_id)
             return QueryRecord(
                 query_id=query.query_id,
@@ -270,18 +289,18 @@ class FlowerCDN:
                 redirection_failures=failures,
             )
 
-        if self.config.content_miss_fallback == "directory":
+        if self._directory_fallback:
             directory = self._current_directory(query.website, query.locality, peer)
             if directory is not None:
-                latency += self._host_latency(peer.host_id, directory.host_id)
+                latency += host_latency(peer_host, directory.host_id)
                 flow = self._run_directory_flow(directory, object_id, query.locality)
                 latency += flow.latency_ms
                 failures += flow.redirection_failures
                 self._after_served(peer, object_id)
                 distance = (
-                    self._host_latency(peer.host_id, flow.provider_host)
+                    host_latency(peer_host, flow.provider_host)
                     if flow.provider_host is not None
-                    else self.latency.server_latency_ms
+                    else self._server_latency_ms
                 )
                 return QueryRecord(
                     query_id=query.query_id,
@@ -296,7 +315,7 @@ class FlowerCDN:
                 )
 
         # Fall back to the origin web server.
-        latency += self.latency.server_latency_ms
+        latency += self._server_latency_ms
         self._after_served(peer, object_id)
         return QueryRecord(
             query_id=query.query_id,
@@ -305,7 +324,7 @@ class FlowerCDN:
             locality=query.locality,
             outcome=QueryOutcome.SERVER_MISS,
             lookup_latency_ms=latency,
-            transfer_distance_ms=self.latency.server_latency_ms,
+            transfer_distance_ms=self._server_latency_ms,
             provider=None,
             redirection_failures=failures,
         )
@@ -404,7 +423,7 @@ class FlowerCDN:
                     provider.host_id if provider is not None else current.host_id
                 )
                 latency += self._host_latency(current.host_id, target_host)
-                if provider is None or not provider.alive or not provider.has_object(object_id):
+                if provider is None or not provider.alive or object_id not in provider._objects:
                     # Redirection failure: drop the stale entry and retry.
                     current.remove_client(decision.target)
                     tried_providers.append(decision.target)
@@ -550,14 +569,12 @@ class FlowerCDN:
             if partner is None or not partner.alive:
                 peer.forget_contact(partner_id)
             else:
-                rng = self.sim.streams.stream("gossip:subset")
+                rng = self._gossip_subset_rng
                 message = peer.build_gossip_message(rng=rng)
                 reply = partner.handle_gossip(message, rng=rng)
                 peer.apply_gossip(reply)
                 peer.gossip_initiated += 1
-                size = self.config.message_sizes.gossip_message_bytes(
-                    self.config.summary_bits, self.config.gossip.gossip_length
-                )
+                size = self._gossip_message_bytes
                 self.bandwidth.record_message(
                     self.sim.now, peer.peer_id, partner.peer_id, size, "gossip"
                 )
@@ -568,7 +585,16 @@ class FlowerCDN:
 
     def _maybe_push(self, peer: ContentPeer) -> None:
         """Algorithm 5: push the delta list once the change threshold is reached."""
-        if not peer.needs_push():
+        # Inlined needs_push(): this guard runs after every served object, and
+        # the two extra Python frames measurably slow the query hot path.
+        changes = len(peer._pending_added) + len(peer._pending_removed)
+        if changes == 0:
+            return
+        if not peer._objects and not peer._pending_removed:
+            fraction = 0.0
+        else:
+            fraction = changes / max(1, len(peer._objects))
+        if fraction < self.config.gossip.push_threshold:
             return
         directory = self._current_directory(peer.website, peer.locality, detector=peer)
         if directory is None:
@@ -586,7 +612,7 @@ class FlowerCDN:
         if directory is None:
             return
         directory.handle_keepalive(peer.peer_id)
-        size = self.config.message_sizes.keepalive_bytes()
+        size = self._keepalive_bytes
         self.bandwidth.record_message(
             self.sim.now, peer.peer_id, directory.peer_id, size, "keepalive"
         )
@@ -601,7 +627,7 @@ class FlowerCDN:
             del dead_peer
         if directory.should_refresh_summary():
             summary = directory.publish_summary()
-            size = self.config.message_sizes.summary_refresh_bytes(self.config.summary_bits)
+            size = self._summary_refresh_bytes
             for neighbor_placement in self.dring.neighbors_of(
                 directory.website, directory.locality
             ):

@@ -27,6 +27,57 @@ def _hash_pair(item: str) -> tuple[int, int]:
     return h1, h2
 
 
+#: Memo of (num_bits, num_hashes, item) -> OR-mask of the item's bit positions.
+#: Simulations probe the same object identifiers against thousands of filters
+#: sharing one geometry, so the mask — which fully determines add/contains —
+#: is computed once per item instead of once per probe.  Bounded so synthetic
+#: stress loads cannot grow it without limit.
+_MASK_CACHE: dict[tuple[int, int, str], int] = {}
+_MASK_CACHE_MAX = 1 << 20
+
+
+def _mask_for(num_bits: int, num_hashes: int, item: str) -> int:
+    key = (num_bits, num_hashes, item)
+    try:
+        return _MASK_CACHE[key]
+    except KeyError:
+        pass
+    h1, h2 = _hash_pair(item)
+    mask = 0
+    for i in range(num_hashes):
+        mask |= 1 << ((h1 + i * h2) % num_bits)
+    if len(_MASK_CACHE) >= _MASK_CACHE_MAX:
+        _MASK_CACHE.clear()
+    _MASK_CACHE[key] = mask
+    return mask
+
+
+def entries_maybe_containing(entries, item: str) -> list:
+    """Filter aged-view entries whose Bloom payload may contain ``item``.
+
+    Hot-path helper for local query resolution: all summaries in one overlay
+    share a geometry, so the item's probe mask is computed once per distinct
+    ``(num_bits, num_hashes)`` encountered and compared against each filter's
+    bit set directly, instead of re-deriving positions per probe.  Entries
+    with no payload are skipped.
+    """
+    result = []
+    mask = 0
+    geom_bits = geom_hashes = -1
+    for entry in entries:
+        payload = entry.payload
+        if payload is None:
+            continue
+        num_bits = payload._num_bits
+        num_hashes = payload._num_hashes
+        if num_bits != geom_bits or num_hashes != geom_hashes:
+            geom_bits, geom_hashes = num_bits, num_hashes
+            mask = _mask_for(num_bits, num_hashes, item)
+        if payload._bits & mask == mask:
+            result.append(entry)
+    return result
+
+
 class BloomFilter:
     """A fixed-size Bloom filter over string keys.
 
@@ -75,8 +126,7 @@ class BloomFilter:
         cls, items: Iterable[str], num_bits: int, num_hashes: int | None = None
     ) -> "BloomFilter":
         bloom = cls(num_bits=num_bits, num_hashes=num_hashes)
-        for item in items:
-            bloom.add(item)
+        bloom.update(items)
         return bloom
 
     # -- core operations -------------------------------------------------------
@@ -87,16 +137,22 @@ class BloomFilter:
             yield (h1 + i * h2) % self._num_bits
 
     def add(self, item: str) -> None:
-        for pos in self._positions(item):
-            self._bits |= 1 << pos
+        self._bits |= _mask_for(self._num_bits, self._num_hashes, item)
         self._count += 1
 
     def update(self, items: Iterable[str]) -> None:
+        num_bits, num_hashes = self._num_bits, self._num_hashes
+        bits = self._bits
+        count = self._count
         for item in items:
-            self.add(item)
+            bits |= _mask_for(num_bits, num_hashes, item)
+            count += 1
+        self._bits = bits
+        self._count = count
 
     def __contains__(self, item: str) -> bool:
-        return all(self._bits >> pos & 1 for pos in self._positions(item))
+        mask = _mask_for(self._num_bits, self._num_hashes, item)
+        return self._bits & mask == mask
 
     def might_contain(self, item: str) -> bool:
         """Alias of ``in`` that reads better at query-processing call sites."""
@@ -124,7 +180,7 @@ class BloomFilter:
     @property
     def fill_ratio(self) -> float:
         """Fraction of bits set; drives the false-positive probability."""
-        return bin(self._bits).count("1") / self._num_bits
+        return self._bits.bit_count() / self._num_bits
 
     def false_positive_probability(self) -> float:
         """Estimated false-positive probability given the current fill ratio."""

@@ -16,6 +16,7 @@ EXPERIMENTS.md records which scale produced the committed numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import partial
 from typing import List, Optional
 
 from repro.baselines.squirrel import Squirrel, SquirrelConfig
@@ -121,6 +122,8 @@ class RunResult:
     redirection_failures: int
     metrics: MetricsCollector
     bandwidth: Optional[BandwidthAccountant] = None
+    #: events dispatched by the simulator during this run (perf accounting)
+    events_fired: int = 0
 
     def summary_row(self) -> tuple:
         return (
@@ -162,7 +165,13 @@ class ExperimentRunner:
             )
         return self._catalog
 
-    def _build_flower(self) -> tuple[Simulator, FlowerCDN]:
+    def build_flower(self) -> tuple[Simulator, FlowerCDN]:
+        """Construct a bootstrapped Flower-CDN system plus its simulator.
+
+        Public so harnesses that need the simulator itself (e.g. the perf
+        suite, which times the dispatch phase in isolation) can drive the
+        replay themselves instead of going through :meth:`run_flower`.
+        """
         sim = Simulator(seed=self.setup.seed, end_time=self.setup.flower.simulation_duration_s)
         system = FlowerCDN(
             self.setup.flower,
@@ -173,6 +182,9 @@ class ExperimentRunner:
         )
         system.bootstrap()
         return sim, system
+
+    # Backwards-compatible alias (pre-perf-suite name).
+    _build_flower = build_flower
 
     def resolved_queries(self) -> List[ResolvedQuery]:
         """The query trace with concrete originating hosts (built once, reused)."""
@@ -200,8 +212,11 @@ class ExperimentRunner:
 
     def _replay_trace(self, sim: Simulator, system) -> float:
         """Schedule the shared trace against ``system`` and run to the horizon."""
-        for query in self.resolved_queries():
-            sim.at(query.time, lambda q=query: system.handle_query(q), label="query")
+        handle = system.handle_query
+        sim.schedule_batch(
+            ((query.time, partial(handle, query)) for query in self.resolved_queries()),
+            label="query",
+        )
         duration = self.setup.flower.simulation_duration_s
         sim.run(until=duration)
         return duration
@@ -246,6 +261,7 @@ class ExperimentRunner:
             redirection_failures=metrics.redirection_failures,
             metrics=metrics,
             bandwidth=system.bandwidth,
+            events_fired=sim.events_fired,
         )
 
     def run_squirrel(self) -> RunResult:
@@ -270,6 +286,7 @@ class ExperimentRunner:
             redirection_failures=metrics.redirection_failures,
             metrics=metrics,
             bandwidth=None,
+            events_fired=sim.events_fired,
         )
 
     @property

@@ -40,7 +40,7 @@ class QueryOutcome(Enum):
         return self is not QueryOutcome.SERVER_MISS
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QueryRecord:
     """Everything the evaluation needs to know about one processed query."""
 
@@ -74,24 +74,51 @@ class MetricsCollector:
         self._latency_histogram = Histogram(latency_bin_ms, latency_bins)
         self._distance_histogram = Histogram(distance_bin_ms, distance_bins)
         self._outcome_counts: Dict[QueryOutcome, int] = defaultdict(int)
+        # record() is on the per-query hot path, so it only appends; series,
+        # histograms and outcome counts are folded in lazily (and
+        # incrementally) by _sync() when an aggregate is read.
+        self._append_record = self._records.append
+        self._aggregated_upto = 0
 
     # -- recording -------------------------------------------------------------
 
     def record(self, record: QueryRecord) -> None:
-        self._records.append(record)
-        self._outcome_counts[record.outcome] += 1
-        self._hit_series.add(record.time, 1.0 if record.outcome.is_hit else 0.0)
-        self._latency_series.add(record.time, record.lookup_latency_ms)
-        self._latency_histogram.add(record.lookup_latency_ms)
-        if record.outcome.is_hit:
-            # The transfer-distance metric is defined over queries satisfied
-            # from the P2P system (Section 6, metric definition).
-            self._distance_series.add(record.time, record.transfer_distance_ms)
-            self._distance_histogram.add(record.transfer_distance_ms)
+        self._append_record(record)
 
     def record_all(self, records: Iterable[QueryRecord]) -> None:
-        for record in records:
-            self.record(record)
+        self._records.extend(records)
+
+    def _sync(self) -> None:
+        """Fold not-yet-aggregated records into the derived structures.
+
+        Incremental: each record is folded exactly once, in append order, so
+        the resulting series/histograms/counts are identical to eager
+        per-record updates regardless of how reads and writes interleave.
+        """
+        records = self._records
+        upto = self._aggregated_upto
+        if upto == len(records):
+            return
+        counts = self._outcome_counts
+        hit_add = self._hit_series.add
+        latency_add = self._latency_series.add
+        latency_hist_add = self._latency_histogram.add
+        distance_add = self._distance_series.add
+        distance_hist_add = self._distance_histogram.add
+        miss = QueryOutcome.SERVER_MISS
+        for record in records[upto:]:
+            outcome = record.outcome
+            counts[outcome] += 1
+            time = record.time
+            hit_add(time, 0.0 if outcome is miss else 1.0)
+            latency_add(time, record.lookup_latency_ms)
+            latency_hist_add(record.lookup_latency_ms)
+            if outcome is not miss:
+                # The transfer-distance metric is defined over queries
+                # satisfied from the P2P system (Section 6).
+                distance_add(time, record.transfer_distance_ms)
+                distance_hist_add(record.transfer_distance_ms)
+        self._aggregated_upto = len(records)
 
     # -- aggregates ---------------------------------------------------------------
 
@@ -108,15 +135,18 @@ class MetricsCollector:
         """Fraction of queries satisfied from the P2P system."""
         if not self._records:
             return 0.0
+        self._sync()
         hits = sum(count for outcome, count in self._outcome_counts.items() if outcome.is_hit)
         return hits / len(self._records)
 
     @property
     def average_lookup_latency_ms(self) -> float:
+        self._sync()
         return self._latency_histogram.mean
 
     @property
     def average_transfer_distance_ms(self) -> float:
+        self._sync()
         return self._distance_histogram.mean
 
     @property
@@ -130,42 +160,51 @@ class MetricsCollector:
         return sum(r.redirection_failures for r in self._records)
 
     def outcome_counts(self) -> Dict[QueryOutcome, int]:
+        self._sync()
         return dict(self._outcome_counts)
 
     def outcome_fractions(self) -> Dict[QueryOutcome, float]:
         total = len(self._records)
         if not total:
             return {}
+        self._sync()
         return {outcome: count / total for outcome, count in self._outcome_counts.items()}
 
     # -- series and distributions ----------------------------------------------------
 
     @property
     def hit_ratio_series(self) -> TimeSeries:
+        self._sync()
         return self._hit_series
 
     @property
     def lookup_latency_series(self) -> TimeSeries:
+        self._sync()
         return self._latency_series
 
     @property
     def transfer_distance_series(self) -> TimeSeries:
+        self._sync()
         return self._distance_series
 
     @property
     def lookup_latency_histogram(self) -> Histogram:
+        self._sync()
         return self._latency_histogram
 
     @property
     def transfer_distance_histogram(self) -> Histogram:
+        self._sync()
         return self._distance_histogram
 
     def steady_state_latency_ms(self, warmup_s: float) -> float:
         """Mean of per-window lookup latencies after the warm-up period."""
+        self._sync()
         values = self._latency_series.values_after(warmup_s)
         return sum(values) / len(values) if values else 0.0
 
     def steady_state_distance_ms(self, warmup_s: float) -> float:
+        self._sync()
         values = self._distance_series.values_after(warmup_s)
         return sum(values) / len(values) if values else 0.0
 
@@ -176,6 +215,7 @@ class BandwidthAccountant:
     #: categories of background messages counted as overhead; "replication" is
     #: only used by the active-replication extension (Section 8 future work)
     CATEGORIES = ("gossip", "push", "keepalive", "summary", "replication")
+    _CATEGORY_SET = frozenset(CATEGORIES)
 
     def __init__(self, window_s: float = 3600.0) -> None:
         self._bytes_per_peer: Dict[str, float] = defaultdict(float)
@@ -183,6 +223,11 @@ class BandwidthAccountant:
         self._messages_per_category: Dict[str, int] = defaultdict(int)
         self._series = TimeSeries(window_s)
         self._peer_first_seen: Dict[str, float] = {}
+        # record_message() runs on every background message inside the sim
+        # loop: validation stays eager (error locality), accumulation is
+        # deferred to _sync() like MetricsCollector's.
+        self._pending: List[tuple] = []
+        self._append_pending = self._pending.append
 
     def record_message(
         self, time: float, sender: str, receiver: str, num_bytes: int, category: str
@@ -190,40 +235,65 @@ class BandwidthAccountant:
         """Account a background message: both endpoints experience the traffic."""
         if num_bytes < 0:
             raise ValueError("num_bytes must be non-negative")
-        if category not in self.CATEGORIES:
+        if category not in self._CATEGORY_SET:
             raise ValueError(f"unknown traffic category {category!r}")
-        for peer in (sender, receiver):
-            self._bytes_per_peer[peer] += num_bytes
-            self._peer_first_seen.setdefault(peer, time)
-        self._bytes_per_category[category] += 2 * num_bytes
-        self._messages_per_category[category] += 1
-        self._series.add(time, 2 * num_bytes)
+        self._append_pending((time, sender, receiver, num_bytes, category))
 
     def observe_peer(self, time: float, peer: str) -> None:
         """Register a peer that participates even if it never sends traffic."""
-        self._bytes_per_peer.setdefault(peer, 0.0)
-        self._peer_first_seen.setdefault(peer, time)
+        self._append_pending((time, peer, None, 0, None))
+
+    def _sync(self) -> None:
+        """Fold pending messages/observations into the aggregates, in order."""
+        pending = self._pending
+        if not pending:
+            return
+        bytes_per_peer = self._bytes_per_peer
+        first_seen = self._peer_first_seen
+        bytes_per_category = self._bytes_per_category
+        messages_per_category = self._messages_per_category
+        series_add = self._series.add
+        setdefault = first_seen.setdefault
+        for time, sender, receiver, num_bytes, category in pending:
+            if category is None:
+                # observe_peer(): participation without traffic.
+                bytes_per_peer.setdefault(sender, 0.0)
+                setdefault(sender, time)
+                continue
+            bytes_per_peer[sender] += num_bytes
+            setdefault(sender, time)
+            bytes_per_peer[receiver] += num_bytes
+            setdefault(receiver, time)
+            bytes_per_category[category] += 2 * num_bytes
+            messages_per_category[category] += 1
+            series_add(time, 2 * num_bytes)
+        pending.clear()
 
     # -- aggregates --------------------------------------------------------------
 
     @property
     def num_peers(self) -> int:
+        self._sync()
         return len(self._bytes_per_peer)
 
     @property
     def total_bytes(self) -> float:
+        self._sync()
         return sum(self._bytes_per_peer.values())
 
     def total_bytes_by_category(self) -> Dict[str, float]:
+        self._sync()
         return dict(self._bytes_per_category)
 
     def messages_by_category(self) -> Dict[str, int]:
+        self._sync()
         return dict(self._messages_per_category)
 
     def average_bps_per_peer(self, duration_s: float) -> float:
         """The paper's *background traffic* metric: mean bps per participating peer."""
         if duration_s <= 0:
             raise ValueError("duration_s must be positive")
+        self._sync()
         if not self._bytes_per_peer:
             return 0.0
         per_peer_bps = [
@@ -234,17 +304,20 @@ class BandwidthAccountant:
     def peak_bps_per_peer(self, duration_s: float) -> float:
         if duration_s <= 0:
             raise ValueError("duration_s must be positive")
+        self._sync()
         if not self._bytes_per_peer:
             return 0.0
         return max((b * 8.0) / duration_s for b in self._bytes_per_peer.values())
 
     def traffic_series(self) -> TimeSeries:
         """Per-window total background bytes (Figure 5's traffic curve)."""
+        self._sync()
         return self._series
 
     def bps_series(self, duration_hint_s: Optional[float] = None) -> List[tuple[float, float]]:
         """Per-window average bps per peer over time."""
         del duration_hint_s  # reserved for future normalisation options
+        self._sync()
         points = []
         peers = max(1, self.num_peers)
         for window in self._series.windows():

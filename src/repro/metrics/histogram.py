@@ -54,8 +54,12 @@ class Histogram:
         self._counts[index] += 1
         self._total += 1
         self._sum += value
-        self._min = value if self._min is None else min(self._min, value)
-        self._max = value if self._max is None else max(self._max, value)
+        current_min = self._min
+        if current_min is None or value < current_min:
+            self._min = value
+        current_max = self._max
+        if current_max is None or value > current_max:
+            self._max = value
 
     def extend(self, values: Sequence[float]) -> None:
         for value in values:

@@ -29,8 +29,9 @@ class TimeSeries:
         if window_s <= 0:
             raise ValueError("window_s must be positive")
         self._window_s = window_s
-        self._sums: Dict[int, float] = {}
-        self._counts: Dict[int, int] = {}
+        # window index -> [sum, count]; one dict lookup per sample instead of
+        # two (this add() runs several times per simulated query).
+        self._buckets: Dict[int, List[float]] = {}
         self._total_sum = 0.0
         self._total_count = 0
 
@@ -50,17 +51,21 @@ class TimeSeries:
         if time_s < 0:
             raise ValueError("sample time must be non-negative")
         index = int(time_s // self._window_s)
-        self._sums[index] = self._sums.get(index, 0.0) + value
-        self._counts[index] = self._counts.get(index, 0) + 1
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            self._buckets[index] = [value, 1]
+        else:
+            bucket[0] += value
+            bucket[1] += 1
         self._total_sum += value
         self._total_count += 1
 
     def windows(self) -> List[WindowStat]:
         """Per-window aggregates, ordered by time; empty windows are omitted."""
         stats: List[WindowStat] = []
-        for index in sorted(self._sums):
-            count = self._counts[index]
-            total = self._sums[index]
+        for index in sorted(self._buckets):
+            total, count = self._buckets[index]
+            count = int(count)
             stats.append(
                 WindowStat(
                     window_start=index * self._window_s,

@@ -79,8 +79,25 @@ class LatencyModel:
     # -- latency queries -----------------------------------------------------
 
     def latency_ms(self, src_peer: str, dst_peer: str) -> float:
-        """One-way message latency between two registered peers, in ms."""
-        return self._topology.latency_ms(self.host_of(src_peer), self.host_of(dst_peer))
+        """One-way message latency between two registered peers, in ms.
+
+        Pair latencies are memoised at the topology layer (symmetric host-pair
+        cache), so repeated queries between the same directory/content peers —
+        the hot path of every lookup — cost two dict lookups plus a cache hit.
+        """
+        peer_hosts = self._peer_hosts
+        try:
+            src_host = peer_hosts[src_peer]
+            dst_host = peer_hosts[dst_peer]
+        except KeyError:
+            # Re-raise through host_of for the precise per-peer error message.
+            src_host = self.host_of(src_peer)
+            dst_host = self.host_of(dst_peer)
+        return self._topology.latency_ms(src_host, dst_host)
+
+    def latency_cache_info(self) -> Dict[str, int]:
+        """Statistics of the underlying topology's pairwise latency memo."""
+        return self._topology.latency_cache_info()
 
     def latency_to_server_ms(self, peer_id: str) -> float:
         """Latency between a registered peer and an origin web server, in ms."""

@@ -20,10 +20,11 @@ BRITE-like 10–500 ms band.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
-from repro.sim.rng import RandomStreams
+from repro.sim.rng import RandomStreams, derive_seed
 
 
 @dataclass(frozen=True)
@@ -99,13 +100,31 @@ class Topology:
     so repeated queries between the same hosts observe the same latency.
     """
 
-    def __init__(self, config: TopologyConfig, streams: RandomStreams) -> None:
+    #: default bound on the pairwise latency memo (worst case a few tens of MB)
+    DEFAULT_LATENCY_CACHE_SIZE = 1_000_000
+
+    def __init__(
+        self,
+        config: TopologyConfig,
+        streams: RandomStreams,
+        latency_cache_size: int = DEFAULT_LATENCY_CACHE_SIZE,
+    ) -> None:
         self._config = config
         self._streams = streams
         self._hosts: List[Host] = []
         self._centres: List[Tuple[float, float]] = []
         self._by_locality: Dict[int, List[int]] = {}
         self._build()
+        # Memo of symmetric pair -> latency.  The same directory/content-peer
+        # pairs are queried thousands of times per run, and the latency is a
+        # pure function of the pair, so entries never go stale; the cache is
+        # bounded (oldest-first eviction) purely to cap memory.
+        if latency_cache_size <= 0:
+            raise ValueError("latency_cache_size must be positive")
+        self._latency_cache: Dict[int, float] = {}
+        self._latency_cache_size = latency_cache_size
+        self._latency_hits = 0
+        self._latency_misses = 0
 
     # -- construction ------------------------------------------------------
 
@@ -187,14 +206,45 @@ class Topology:
     # -- latency ------------------------------------------------------------
 
     def latency_ms(self, a: int, b: int) -> float:
-        """Symmetric latency in milliseconds between hosts ``a`` and ``b``."""
+        """Symmetric latency in milliseconds between hosts ``a`` and ``b``.
+
+        Results are memoised per unordered pair: the value is deterministic,
+        so the cache is transparent — it only skips the distance and jitter
+        arithmetic on repeat queries.
+        """
         if a == b:
             return 0.0
-        ha, hb = self._hosts[a], self._hosts[b]
+        lo, hi = (a, b) if a <= b else (b, a)
+        key = lo * len(self._hosts) + hi
+        cache = self._latency_cache
+        try:
+            latency = cache[key]
+        except KeyError:
+            pass
+        else:
+            self._latency_hits += 1
+            return latency
+        self._latency_misses += 1
+        ha, hb = self._hosts[lo], self._hosts[hi]
         distance = math.hypot(ha.x - hb.x, ha.y - hb.y)
         latency = self._config.min_latency_ms + distance
-        latency += self._pair_jitter(a, b)
-        return max(self._config.min_latency_ms, min(self._config.max_latency_ms, latency))
+        latency += self._pair_jitter(lo, hi)
+        latency = max(self._config.min_latency_ms, min(self._config.max_latency_ms, latency))
+        if len(cache) >= self._latency_cache_size:
+            # Evict the oldest entry (dict preserves insertion order); any
+            # evicted pair is simply recomputed to the identical value later.
+            del cache[next(iter(cache))]
+        cache[key] = latency
+        return latency
+
+    def latency_cache_info(self) -> Dict[str, int]:
+        """Hit/miss/size statistics of the pairwise latency memo."""
+        return {
+            "hits": self._latency_hits,
+            "misses": self._latency_misses,
+            "size": len(self._latency_cache),
+            "capacity": self._latency_cache_size,
+        }
 
     def _pair_jitter(self, a: int, b: int) -> float:
         """Deterministic, symmetric jitter for the (a, b) pair."""
@@ -205,11 +255,22 @@ class Topology:
         return unit * self._config.jitter_ms
 
     def average_intra_locality_latency(self, locality: int, sample: int = 200) -> float:
-        """Monte-Carlo estimate of the mean latency within ``locality``."""
+        """Monte-Carlo estimate of the mean latency within ``locality``.
+
+        Uses a call-local RNG derived from the master seed and the call's own
+        parameters, so the estimate depends only on ``(seed, locality,
+        sample)`` — never on how many estimates were requested before (a
+        shared named stream would couple results to call order).
+        """
         members = self._by_locality.get(locality, [])
         if len(members) < 2:
             return 0.0
-        rng = self._streams.stream(f"{self._config.seed_stream}:est")
+        rng = random.Random(
+            derive_seed(
+                self._streams.master_seed,
+                f"{self._config.seed_stream}:est:{locality}:{sample}",
+            )
+        )
         total, count = 0.0, 0
         for _ in range(sample):
             a, b = rng.sample(members, 2)

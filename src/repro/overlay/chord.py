@@ -38,6 +38,9 @@ class ChordRing:
         #: :meth:`stabilize` on their own schedule.
         self.auto_stabilize = auto_stabilize
         self._nodes: Dict[int, ChordNode] = {}
+        # live_ids() runs on every bootstrap/lookup; membership changes are
+        # rare by comparison, so the sorted id list is cached between them.
+        self._live_cache: List[int] | None = None
 
     # -- membership ----------------------------------------------------------
 
@@ -53,7 +56,13 @@ class ChordRing:
         return tuple(self._nodes.values())
 
     def live_ids(self) -> List[int]:
-        return sorted(node_id for node_id, node in self._nodes.items() if node.alive)
+        cached = self._live_cache
+        if cached is None:
+            cached = sorted(
+                node_id for node_id, node in self._nodes.items() if node.alive
+            )
+            self._live_cache = cached
+        return cached
 
     def node(self, node_id: int) -> ChordNode:
         try:
@@ -69,6 +78,7 @@ class ChordRing:
             raise ValueError(f"node id {node_id} already joined the ring")
         node = ChordNode(node_id, self.idspace, peer_name=peer_name)
         self._nodes[node_id] = node
+        self._live_cache = None
         if self.auto_stabilize:
             self.stabilize()
         return node
@@ -78,6 +88,7 @@ class ChordRing:
         node = self.node(node_id)
         node.alive = False
         del self._nodes[node_id]
+        self._live_cache = None
         if self.auto_stabilize:
             self.stabilize()
 
@@ -89,11 +100,13 @@ class ChordRing:
         the next-best known node, mirroring real DHT behaviour under churn.
         """
         self.node(node_id).alive = False
+        self._live_cache = None
 
     def stabilize(self) -> None:
         """Repair fingers, successor lists and predecessors of all live nodes."""
         # Purge failed nodes from the table first so rebuild ignores them.
         self._nodes = {nid: n for nid, n in self._nodes.items() if n.alive}
+        self._live_cache = None
         rebuild_routing_state(self._nodes, self.successor_list_size)
 
     # -- ownership -----------------------------------------------------------

@@ -1,0 +1,18 @@
+"""Performance benchmark suite and tracked baselines.
+
+``repro perf`` (see :mod:`repro.perf.suite`) runs microbenchmarks of the hot
+layers (event core, latency cache, Zipf samplers) plus end-to-end scenario
+benchmarks, and emits ``BENCH_core.json``.  The committed baseline lives at
+``benchmarks/perf/BENCH_core.json``; CI re-runs the suite and fails when
+events/sec regresses more than the configured threshold against it.  See
+``docs/performance.md`` for the workflow.
+"""
+
+from repro.perf.suite import (  # noqa: F401
+    BASELINE_PATH_ENV,
+    DEFAULT_SCENARIOS,
+    REGRESSION_THRESHOLD,
+    compare_to_baseline,
+    default_baseline_path,
+    run_suite,
+)

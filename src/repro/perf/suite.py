@@ -1,0 +1,321 @@
+"""The perf-benchmark suite behind ``repro perf``.
+
+Two tiers of benchmarks feed one JSON document (``BENCH_core.json``):
+
+* **micro** — tight loops over the hot primitives: event scheduling/dispatch,
+  event cancellation + heap compaction, the topology latency cache, and both
+  Zipf sampling strategies.  These isolate layer-level regressions.
+* **scenarios** — named library scenarios run end to end.  Two phases are
+  timed separately per scenario:
+
+  - ``events_per_s`` / ``queries_per_s``: throughput of the *event-dispatch
+    phase* (bulk-scheduling the resolved trace + running the simulator to the
+    horizon) — the standard events/sec figure of a discrete-event engine;
+  - ``wall_s``: the complete scenario execution (environment + trace
+    construction + dispatch + metric finalisation), the number a user waits
+    for.
+
+All numbers are best-of-``repeats`` (the standard way to suppress scheduler
+noise in wall-clock benchmarks).  ``python -m repro.cli perf --check``
+compares a fresh run against the committed baseline and fails on events/sec
+regressions beyond :data:`REGRESSION_THRESHOLD`; to compensate for machine
+speed differences (laptop vs CI runner) the comparison is performed on
+*calibrated* ratios — scenario events/sec divided by the event-core
+microbenchmark events/sec of the same run — so only relative slowdowns of
+the simulation code trip the gate, not a slower machine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from functools import partial
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.driver import ExperimentRunner
+from repro.network.topology import Topology, TopologyConfig
+from repro.scenarios.library import get_scenario
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workload.zipf import ZipfSampler
+
+#: schema version of BENCH_core.json
+SCHEMA_VERSION = 1
+#: scenarios benchmarked by default (paper-default is the headline)
+DEFAULT_SCENARIOS = ("paper-default", "flash-crowd")
+#: relative events/sec regression that fails the CI gate
+REGRESSION_THRESHOLD = 0.20
+#: environment override for the committed baseline location
+BASELINE_PATH_ENV = "REPRO_PERF_BASELINE"
+
+
+def default_baseline_path() -> Path:
+    """``benchmarks/perf/BENCH_core.json`` of this checkout (env-overridable)."""
+    override = os.environ.get(BASELINE_PATH_ENV)
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "perf" / "BENCH_core.json"
+
+
+# -- micro benchmarks ---------------------------------------------------------
+
+
+def bench_event_core(num_events: int = 100_000, repeats: int = 3) -> Dict[str, float]:
+    """Schedule and dispatch ``num_events`` trivial events; events/sec."""
+    best = 0.0
+    for _ in range(repeats):
+        sim = Simulator(seed=1)
+        callback = _noop
+        start = time.perf_counter()
+        sim.schedule_batch(((float(i), callback) for i in range(num_events)))
+        sim.run()
+        elapsed = time.perf_counter() - start
+        best = max(best, num_events / elapsed)
+    return {"events_per_s": best, "num_events": num_events}
+
+
+def _noop() -> None:
+    return None
+
+
+def bench_event_cancellation(num_events: int = 50_000, repeats: int = 3) -> Dict[str, float]:
+    """Push/cancel churn exercising lazy deletion and heap compaction."""
+    best = 0.0
+    for _ in range(repeats):
+        sim = Simulator(seed=1)
+        queue = sim._queue
+        start = time.perf_counter()
+        handles = [queue.push(float(i), _noop) for i in range(num_events)]
+        for handle in handles[:: 2]:
+            queue.cancel(handle)
+        while queue.pop() is not None:
+            pass
+        elapsed = time.perf_counter() - start
+        best = max(best, num_events / elapsed)
+    return {"ops_per_s": best, "num_events": num_events}
+
+
+def bench_periodic_rescheduling(
+    periods: int = 50_000, repeats: int = 3
+) -> Dict[str, float]:
+    """call_every fast-path rescheduling throughput (fires/sec)."""
+    best = 0.0
+    for _ in range(repeats):
+        sim = Simulator(seed=1)
+        sim.call_every(1.0, _noop)
+        start = time.perf_counter()
+        sim.run(until=float(periods))
+        elapsed = time.perf_counter() - start
+        best = max(best, periods / elapsed)
+    return {"fires_per_s": best, "periods": periods}
+
+
+def bench_latency_cache(
+    num_hosts: int = 500, num_queries: int = 200_000, repeats: int = 3
+) -> Dict[str, float]:
+    """Repeated symmetric pair queries against the topology latency memo."""
+    topology = Topology(
+        TopologyConfig(num_hosts=num_hosts, num_localities=3), RandomStreams(7)
+    )
+    # A small working set of pairs, queried round-robin: the cache-hit regime
+    # the simulation lives in.
+    pairs = [((i * 13) % num_hosts, (i * 31 + 7) % num_hosts) for i in range(1024)]
+    best = 0.0
+    for _ in range(repeats):
+        latency_ms = topology.latency_ms
+        start = time.perf_counter()
+        index = 0
+        for _ in range(num_queries):
+            a, b = pairs[index]
+            latency_ms(a, b)
+            index = (index + 1) & 1023
+        elapsed = time.perf_counter() - start
+        best = max(best, num_queries / elapsed)
+    info = topology.latency_cache_info()
+    return {
+        "queries_per_s": best,
+        "num_queries": num_queries,
+        "cache_hits": info["hits"],
+        "cache_misses": info["misses"],
+    }
+
+
+def bench_zipf(
+    population: int = 10_000, draws: int = 200_000, repeats: int = 3
+) -> Dict[str, float]:
+    """Draws/sec of both sampling strategies over a large rank population."""
+    import random as _random
+
+    results: Dict[str, float] = {"population": population, "draws": draws}
+    for method in ("alias", "cdf"):
+        sampler = ZipfSampler(population, 0.8, method=method)
+        best = 0.0
+        for _ in range(repeats):
+            rng = _random.Random(3)
+            start = time.perf_counter()
+            sampler.sample_many(rng, draws)
+            elapsed = time.perf_counter() - start
+            best = max(best, draws / elapsed)
+        results[f"{method}_draws_per_s"] = best
+    return results
+
+
+# -- scenario benchmarks ------------------------------------------------------
+
+
+def bench_scenario(
+    name: str, scale: float = 1.0, repeats: int = 3
+) -> Dict[str, float]:
+    """End-to-end benchmark of one library scenario (Flower-CDN system).
+
+    The event-dispatch phase (bulk trace scheduling + simulator run) is timed
+    separately from the full execution; events/sec and queries/sec are
+    defined over the dispatch phase, ``wall_s`` over the whole thing.
+    """
+    spec = get_scenario(name)
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    best_events_per_s = 0.0
+    best_queries_per_s = 0.0
+    best_wall = float("inf")
+    events_fired = 0
+    num_queries = 0
+    for _ in range(repeats):
+        runner = ExperimentRunner(spec.to_setup())
+        total_start = time.perf_counter()
+        runner.resolved_queries()  # environment + trace construction
+        sim, system = runner.build_flower()
+        handle = system.handle_query
+        dispatch_start = time.perf_counter()
+        sim.schedule_batch(
+            ((query.time, partial(handle, query)) for query in runner.resolved_queries()),
+            label="query",
+        )
+        sim.run(until=spec.duration_s)
+        dispatch_elapsed = time.perf_counter() - dispatch_start
+        # Metric finalisation is part of the full wall clock.
+        system.metrics.hit_ratio
+        system.bandwidth.average_bps_per_peer(spec.duration_s)
+        total_elapsed = time.perf_counter() - total_start
+        events_fired = sim.events_fired
+        num_queries = system.metrics.num_queries
+        best_events_per_s = max(best_events_per_s, events_fired / dispatch_elapsed)
+        best_queries_per_s = max(best_queries_per_s, num_queries / dispatch_elapsed)
+        best_wall = min(best_wall, total_elapsed)
+    return {
+        "events_per_s": best_events_per_s,
+        "queries_per_s": best_queries_per_s,
+        "wall_s": best_wall,
+        "events_fired": events_fired,
+        "num_queries": num_queries,
+        "scale": scale,
+    }
+
+
+# -- the suite ----------------------------------------------------------------
+
+
+def run_suite(
+    scenarios: Sequence[str] = DEFAULT_SCENARIOS,
+    scale: float = 1.0,
+    repeats: int = 3,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Run the whole suite and return the ``BENCH_core.json`` document.
+
+    ``quick`` shrinks every workload (used by the pytest smoke tests and the
+    CI smoke job) — the numbers stay comparable in *shape*, not magnitude.
+    """
+    if quick:
+        micro = {
+            "event_core": bench_event_core(10_000, repeats=1),
+            "event_cancellation": bench_event_cancellation(5_000, repeats=1),
+            "periodic_rescheduling": bench_periodic_rescheduling(5_000, repeats=1),
+            "latency_cache": bench_latency_cache(120, 20_000, repeats=1),
+            "zipf": bench_zipf(1_000, 20_000, repeats=1),
+        }
+        repeats = 1
+        scale = min(scale, 0.25)
+    else:
+        micro = {
+            "event_core": bench_event_core(repeats=repeats),
+            "event_cancellation": bench_event_cancellation(repeats=repeats),
+            "periodic_rescheduling": bench_periodic_rescheduling(repeats=repeats),
+            "latency_cache": bench_latency_cache(repeats=repeats),
+            "zipf": bench_zipf(repeats=repeats),
+        }
+    scenario_results = {
+        name: bench_scenario(name, scale=scale, repeats=repeats) for name in scenarios
+    }
+    return {
+        "schema": SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "repeats": repeats,
+        "quick": quick,
+        "micro": micro,
+        "scenarios": scenario_results,
+    }
+
+
+# -- baseline comparison ------------------------------------------------------
+
+
+def compare_to_baseline(
+    fresh: Dict[str, object],
+    baseline: Dict[str, object],
+    threshold: float = REGRESSION_THRESHOLD,
+) -> List[str]:
+    """Regression check of ``fresh`` against ``baseline``; empty list = pass.
+
+    Scenario events/sec are compared as *calibrated ratios* (scenario
+    events/sec ÷ event-core micro events/sec of the same document), so a
+    uniformly slower machine does not read as a regression — only simulation
+    code that got slower relative to the interpreter does.
+    """
+    failures: List[str] = []
+    fresh_core = _core_events_per_s(fresh)
+    base_core = _core_events_per_s(baseline)
+    if not fresh_core or not base_core:
+        return ["baseline or fresh run lacks the event_core microbenchmark"]
+    fresh_scenarios = fresh.get("scenarios", {})
+    for name, base_result in baseline.get("scenarios", {}).items():
+        fresh_result = fresh_scenarios.get(name)
+        if fresh_result is None:
+            failures.append(f"{name}: missing from the fresh run")
+            continue
+        base_ratio = float(base_result["events_per_s"]) / base_core
+        fresh_ratio = float(fresh_result["events_per_s"]) / fresh_core
+        if fresh_ratio < base_ratio * (1.0 - threshold):
+            failures.append(
+                f"{name}: calibrated events/sec regressed "
+                f"{(1.0 - fresh_ratio / base_ratio) * 100.0:.1f}% "
+                f"(baseline ratio {base_ratio:.4f}, fresh ratio {fresh_ratio:.4f}, "
+                f"threshold {threshold * 100.0:.0f}%)"
+            )
+    return failures
+
+
+def _core_events_per_s(document: Dict[str, object]) -> Optional[float]:
+    try:
+        return float(document["micro"]["event_core"]["events_per_s"])  # type: ignore[index]
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def load_baseline(path: Optional[Path] = None) -> Dict[str, object]:
+    baseline_path = path if path is not None else default_baseline_path()
+    if not baseline_path.exists():
+        raise FileNotFoundError(
+            f"no committed perf baseline at {baseline_path}; run "
+            f"`python -m repro.cli perf --update-baseline` to create it"
+        )
+    return json.loads(baseline_path.read_text(encoding="utf-8"))
+
+
+def write_document(document: Dict[str, object], path: Path) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,106 @@
+"""Parallel scenario execution (multiprocessing over the registry).
+
+Scenario runs are deterministic, share nothing, and are CPU-bound — the ideal
+shape for process-level parallelism.  ``repro scenarios run --all --jobs N``
+uses :func:`run_scenarios` to execute the whole library (or any subset) over
+a worker pool, and the golden suite can be verified the same way with
+:func:`check_goldens`.
+
+Workers re-import :mod:`repro`, so results are exactly what a sequential run
+produces (every worker builds its own topology/trace from ``(spec, seed)``).
+``jobs=1`` bypasses multiprocessing entirely, which keeps single-job runs
+debuggable and exception traces short.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.scenarios import golden as golden_module
+from repro.scenarios.library import get_scenario, scenario_names
+from repro.scenarios.runner import run_scenario
+
+
+def default_jobs() -> int:
+    """Worker count when ``--jobs`` is not given: the machine's CPU count."""
+    return max(1, os.cpu_count() or 1)
+
+
+# -- worker entry points (module-level for picklability) ----------------------
+
+
+def _run_one(args: tuple) -> tuple:
+    name, seed, scale = args
+    spec = get_scenario(name)
+    result = run_scenario(spec, seed=seed, scale=scale)
+    return name, golden_module.result_digest(result, scale=scale)
+
+
+def _check_one(name: str) -> tuple:
+    try:
+        mismatches = golden_module.verify_golden(name)
+    except FileNotFoundError as error:
+        mismatches = [str(error)]
+    return name, mismatches
+
+
+# -- public API ---------------------------------------------------------------
+
+
+def resolve_names(names: Optional[Sequence[str]]) -> List[str]:
+    """Validate scenario names, defaulting to the whole library."""
+    if not names:
+        return scenario_names()
+    known = set(scenario_names())
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise KeyError(
+            f"unknown scenario(s): {', '.join(unknown)}; "
+            f"known scenarios: {', '.join(scenario_names())}"
+        )
+    return list(names)
+
+
+def run_scenarios(
+    names: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    scale: float = 1.0,
+) -> Dict[str, Dict[str, object]]:
+    """Run scenarios across ``jobs`` worker processes; name -> metrics digest.
+
+    Results are returned in library order regardless of completion order, and
+    are identical to sequential :func:`repro.scenarios.runner.run_scenario`
+    runs of the same ``(spec, seed, scale)``.
+    """
+    names = resolve_names(names)
+    jobs = default_jobs() if jobs is None else jobs
+    if jobs <= 0:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    tasks = [(name, seed, scale) for name in names]
+    if jobs == 1 or len(tasks) <= 1:
+        pairs = [_run_one(task) for task in tasks]
+    else:
+        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+            pairs = pool.map(_run_one, tasks)
+    ordered = dict(pairs)
+    return {name: ordered[name] for name in names}
+
+
+def check_goldens(
+    names: Optional[Sequence[str]] = None, jobs: Optional[int] = None
+) -> Dict[str, List[str]]:
+    """Verify committed goldens in parallel; name -> list of mismatches."""
+    names = resolve_names(names)
+    jobs = default_jobs() if jobs is None else jobs
+    if jobs <= 0:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    if jobs == 1 or len(names) <= 1:
+        pairs = [_check_one(name) for name in names]
+    else:
+        with multiprocessing.Pool(processes=min(jobs, len(names))) as pool:
+            pairs = pool.map(_check_one, names)
+    ordered = dict(pairs)
+    return {name: ordered[name] for name in names}

@@ -76,20 +76,52 @@ class Simulator:
             raise SimulationError(f"delay must be non-negative, got {delay}")
         return self._queue.push(self._now + delay, callback, label=label)
 
+    def schedule_batch(self, items, label: str = "") -> list:
+        """Schedule many ``(time, callback)`` pairs in one bulk operation.
+
+        Semantically identical to calling :meth:`at` per pair, but the queue
+        is re-heapified once, which is substantially cheaper for large traces.
+        """
+        now = self._now
+        pairs = []
+        for time, callback in items:
+            if time < now:
+                raise SimulationError(
+                    f"cannot schedule event at {time:.6f}, clock is already at {now:.6f}"
+                )
+            pairs.append((time, callback))
+        return self._queue.extend(pairs, label=label)
+
     def cancel(self, event: Event) -> None:
         self._queue.cancel(event)
+
+    def _reschedule(self, event: Event, time: float) -> Event:
+        """Re-arm a just-fired event handle (fast path for ``call_every``).
+
+        Skips the past-scheduling validation of :meth:`at` — callers guarantee
+        ``time >= now`` — and reuses the popped handle instead of allocating.
+        """
+        return self._queue.reschedule(event, time)
 
     # -- execution ---------------------------------------------------------
 
     def step(self) -> bool:
-        """Execute the next event.  Returns ``False`` when nothing remains."""
-        event = self._queue.pop()
-        if event is None:
+        """Execute the next event.  Returns ``False`` when nothing remains.
+
+        An event scheduled past ``end_time`` is *peeked*, never consumed: the
+        clock advances to the horizon and the event stays in the queue (it
+        would otherwise be silently discarded while remaining counted as
+        pending nowhere).
+        """
+        next_time = self._queue.peek_time()
+        if next_time is None:
             return False
-        if self._end_time is not None and event.time > self._end_time:
-            # Past the horizon: advance the clock to the horizon and stop.
+        if self._end_time is not None and next_time > self._end_time:
+            # Past the horizon: advance the clock to the horizon and stop,
+            # leaving the event in place.
             self._now = self._end_time
             return False
+        event = self._queue.pop()
         if event.time < self._now:
             raise SimulationError("event queue returned an event in the past")
         self._now = event.time
@@ -113,16 +145,25 @@ class Simulator:
 
         self._running = True
         self._stopped = False
+        # The dispatch loop is the single hottest loop of the simulator: bind
+        # the queue method once and skip the per-event safety checks `step()`
+        # performs for external callers (the heap already guarantees time
+        # order, and pop_before has filtered the horizon).
+        queue = self._queue
+        pop_before = queue.pop_before
         try:
             while not self._stopped:
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                event = pop_before(horizon)
+                if event is None:
+                    if queue:
+                        # Next event lies beyond the horizon.
+                        self._now = horizon
                     break
-                if horizon is not None and next_time > horizon:
-                    self._now = horizon
-                    break
-                if not self.step():
-                    break
+                self._now = event.time
+                # Updated per event (not batched into a local) so callbacks
+                # reading `events_fired` mid-run observe the live count.
+                self._events_fired += 1
+                event.callback()
         finally:
             self._running = False
         if horizon is not None and self._now < horizon and not self._stopped and not self._queue:
@@ -189,7 +230,13 @@ class PeriodicHandle:
         self.fired += 1
         self._callback()
         if not self._cancelled:
-            self.schedule(self._sim.now + self._period)
+            # Fast path: the event that invoked us was just popped, so its
+            # handle is free to be re-armed in place for the next period.
+            event = self._event
+            if event is not None and not event.cancelled:
+                self._event = self._sim._reschedule(event, self._sim.now + self._period)
+            else:
+                self.schedule(self._sim.now + self._period)
 
     def cancel(self) -> None:
         self._cancelled = True

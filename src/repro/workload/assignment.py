@@ -21,7 +21,7 @@ from repro.sim.rng import RandomStreams
 from repro.workload.generator import Query
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ResolvedQuery:
     """A query bound to a concrete originating host."""
 

@@ -21,6 +21,9 @@ class Website:
     name: str
     num_objects: int
     object_size_bytes: int = 50_000  # paper: pages of 10-100 KB, size not modelled
+    #: lazily materialised object-URL table; building the identifier strings
+    #: once beats re-formatting them on every Zipf draw of a long trace
+    _ids: tuple = field(default=(), init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -36,7 +39,12 @@ class Website:
         """The URL of the ``index``-th object of this website."""
         if not 0 <= index < self.num_objects:
             raise IndexError(f"object index {index} outside [0, {self.num_objects})")
-        return f"{self.url}/object/{index}"
+        ids = self._ids
+        if not ids:
+            url = self.url
+            ids = tuple(f"{url}/object/{i}" for i in range(self.num_objects))
+            object.__setattr__(self, "_ids", ids)  # frozen dataclass: one-time cache
+        return ids[index]
 
     def objects(self) -> Iterator[ObjectId]:
         for index in range(self.num_objects):

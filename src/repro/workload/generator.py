@@ -55,7 +55,7 @@ class WorkloadConfig:
             raise ValueError("locality_weights must have num_localities entries")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Query:
     """One client query for an object of a website."""
 
@@ -92,10 +92,23 @@ class QueryGenerator:
                 "catalogue has fewer websites than the requested number of active websites"
             )
         self._active: List[Website] = list(self._catalog.websites[: config.active_websites])
+        # The "cdf" strategy reproduces the historical bisection draw
+        # sequence bit for bit (in O(1) expected time): the committed golden
+        # digests are defined over that exact u -> rank mapping.
         self._samplers: Dict[str, ZipfSampler] = {
-            site.name: ZipfSampler(site.num_objects, config.zipf_alpha) for site in self._active
+            site.name: ZipfSampler(site.num_objects, config.zipf_alpha, method="cdf")
+            for site in self._active
         }
         self._next_id = 0
+        # Bind the named streams once: next_query() draws from five streams
+        # per query, and the per-call registry lookups dominate generation
+        # time for long traces.  The stream objects are the same ones the
+        # registry hands out, so draw sequences are unchanged.
+        self._arrival_rng = streams.stream("workload:arrival")
+        self._locality_rng = streams.stream("workload:locality")
+        self._website_rng = streams.stream("workload:website")
+        self._zipf_rng = streams.stream("workload:zipf")
+        self._originator_rng = streams.stream("workload:originator")
 
     # -- accessors ----------------------------------------------------------
 
@@ -119,14 +132,14 @@ class QueryGenerator:
 
     def _next_interarrival(self) -> float:
         if self._config.arrival_process == "poisson":
-            return self._streams.expovariate("workload:arrival", self._config.query_rate_per_s)
+            return self._arrival_rng.expovariate(self._config.query_rate_per_s)
         return 1.0 / self._config.query_rate_per_s
 
     def _pick_locality(self) -> int:
         weights = self._config.locality_weights
         if not weights:
-            return self._streams.randint("workload:locality", 0, self._config.num_localities - 1)
-        u = self._streams.random("workload:locality")
+            return self._locality_rng.randint(0, self._config.num_localities - 1)
+        u = self._locality_rng.random()
         total = sum(weights)
         acc = 0.0
         for index, weight in enumerate(weights):
@@ -136,10 +149,10 @@ class QueryGenerator:
         return self._config.num_localities - 1
 
     def _pick_website(self) -> Website:
-        return self._streams.choice("workload:website", self._active)
+        return self._website_rng.choice(self._active)
 
     def _pick_object(self, website: Website) -> ObjectId:
-        rank = self._samplers[website.name].sample(self._streams.stream("workload:zipf"))
+        rank = self._samplers[website.name].sample(self._zipf_rng)
         return website.object_id(rank)
 
     def next_query(self, current_time: float) -> Query:
@@ -152,7 +165,7 @@ class QueryGenerator:
             object_id=self._pick_object(website),
             locality=self._pick_locality(),
             prefers_new_client=(
-                self._streams.random("workload:originator") < self._config.new_client_bias
+                self._originator_rng.random() < self._config.new_client_bias
             ),
         )
         self._next_id += 1

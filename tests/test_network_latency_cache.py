@@ -1,0 +1,125 @@
+"""Tests for the memoizing latency cache and the call-local latency estimate."""
+
+import pytest
+
+from repro.network.latency import LatencyModel
+from repro.network.topology import Topology, TopologyConfig
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture
+def topology() -> Topology:
+    return Topology(TopologyConfig(num_hosts=300, num_localities=3), RandomStreams(11))
+
+
+class TestLatencyCache:
+    def test_cached_value_identical_to_fresh_computation(self, topology):
+        first = topology.latency_ms(3, 77)
+        info = topology.latency_cache_info()
+        assert info["misses"] >= 1
+        again = topology.latency_ms(3, 77)
+        assert again == first
+        assert topology.latency_cache_info()["hits"] >= 1
+
+    def test_cache_is_symmetric(self, topology):
+        forward = topology.latency_ms(5, 200)
+        backward = topology.latency_ms(200, 5)
+        assert forward == backward
+        info = topology.latency_cache_info()
+        # The reversed query must hit the same entry, not create a second one.
+        assert info["hits"] >= 1
+        assert info["size"] == info["misses"]
+
+    def test_deterministic_across_instances(self):
+        config = TopologyConfig(num_hosts=120, num_localities=3)
+        a = Topology(config, RandomStreams(9))
+        b = Topology(config, RandomStreams(9))
+        for pair in [(0, 10), (3, 99), (57, 110)]:
+            assert a.latency_ms(*pair) == b.latency_ms(*pair)
+
+    def test_self_latency_not_cached(self, topology):
+        assert topology.latency_ms(7, 7) == 0.0
+        assert topology.latency_cache_info()["size"] == 0
+
+    def test_values_within_bounds_via_cache(self, topology):
+        config = topology.config
+        for a in range(0, 300, 17):
+            for b in range(1, 300, 23):
+                if a == b:
+                    continue
+                latency = topology.latency_ms(a, b)
+                assert config.min_latency_ms <= latency <= config.max_latency_ms
+        # Warm queries replay the same values.
+        assert topology.latency_ms(0, 1) == topology.latency_ms(1, 0)
+
+    def test_capacity_bound_evicts_and_recomputes(self):
+        topology = Topology(
+            TopologyConfig(num_hosts=100, num_localities=2),
+            RandomStreams(5),
+            latency_cache_size=4,
+        )
+        values = {}
+        for b in range(1, 12):
+            values[b] = topology.latency_ms(0, b)
+        info = topology.latency_cache_info()
+        assert info["size"] <= 4
+        # Evicted pairs recompute to identical values.
+        for b, expected in values.items():
+            assert topology.latency_ms(0, b) == expected
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(
+                TopologyConfig(num_hosts=10, num_localities=1),
+                RandomStreams(1),
+                latency_cache_size=0,
+            )
+
+
+class TestLatencyModelCache:
+    def test_peer_queries_share_topology_cache(self, topology):
+        model = LatencyModel(topology)
+        model.register_peer("a", 10)
+        model.register_peer("b", 20)
+        first = model.latency_ms("a", "b")
+        assert model.latency_ms("b", "a") == first
+        info = model.latency_cache_info()
+        assert info["hits"] >= 1
+
+    def test_unregistered_peer_still_raises(self, topology):
+        model = LatencyModel(topology)
+        model.register_peer("a", 10)
+        with pytest.raises(KeyError):
+            model.latency_ms("a", "ghost")
+
+
+class TestIntraLocalityEstimate:
+    def test_estimate_independent_of_call_order(self):
+        config = TopologyConfig(num_hosts=300, num_localities=3)
+        a = Topology(config, RandomStreams(21))
+        b = Topology(config, RandomStreams(21))
+        # Interleave differently: the estimate must not depend on how many
+        # other estimates were drawn before it.
+        a.average_intra_locality_latency(1)
+        a.average_intra_locality_latency(2)
+        first_after_noise = a.average_intra_locality_latency(0)
+        first_direct = b.average_intra_locality_latency(0)
+        assert first_after_noise == first_direct
+
+    def test_estimate_repeatable_on_same_instance(self):
+        topology = Topology(
+            TopologyConfig(num_hosts=300, num_localities=3), RandomStreams(21)
+        )
+        assert topology.average_intra_locality_latency(0) == pytest.approx(
+            topology.average_intra_locality_latency(0)
+        )
+
+    def test_sample_size_changes_the_stream(self):
+        topology = Topology(
+            TopologyConfig(num_hosts=300, num_localities=3), RandomStreams(21)
+        )
+        # Different sample sizes are different estimates (derived seeds differ);
+        # both must still be plausible intra-locality latencies.
+        small = topology.average_intra_locality_latency(0, sample=50)
+        large = topology.average_intra_locality_latency(0, sample=400)
+        assert small > 0 and large > 0

@@ -98,6 +98,14 @@ class TestRunControl:
         sim.run()
         assert sim.events_fired == 5
 
+    def test_events_fired_is_live_inside_callbacks(self):
+        sim = Simulator()
+        seen = []
+        sim.at(1.0, lambda: seen.append(sim.events_fired))
+        sim.at(2.0, lambda: seen.append(sim.events_fired))
+        sim.run()
+        assert seen == [1, 2]
+
     def test_cancelled_event_not_executed(self):
         sim = Simulator()
         fired = []
@@ -106,6 +114,49 @@ class TestRunControl:
         sim.cancel(event)
         sim.run()
         assert fired == ["kept"]
+
+
+class TestStepHorizon:
+    def test_step_peeks_instead_of_consuming_past_horizon(self):
+        """An event beyond end_time must stay pending, not be silently eaten."""
+        sim = Simulator(end_time=5.0)
+        sim.at(10.0, lambda: None)
+        assert sim.step() is False
+        assert sim.now == 5.0
+        assert sim.pending_events == 1  # the event was peeked, not consumed
+        assert sim.events_fired == 0
+
+    def test_step_executes_events_inside_horizon(self):
+        sim = Simulator(end_time=5.0)
+        fired = []
+        sim.at(1.0, lambda: fired.append(1))
+        sim.at(10.0, lambda: fired.append(10))
+        assert sim.step() is True
+        assert fired == [1]
+        assert sim.step() is False
+        assert sim.pending_events == 1
+
+
+class TestBatchScheduling:
+    def test_schedule_batch_equivalent_to_at(self):
+        sim_batch, sim_at = Simulator(), Simulator()
+        fired_batch, fired_at = [], []
+        times = [3.0, 1.0, 2.0]
+        sim_batch.schedule_batch(
+            (t, lambda t=t: fired_batch.append(t)) for t in times
+        )
+        for t in times:
+            sim_at.at(t, lambda t=t: fired_at.append(t))
+        sim_batch.run()
+        sim_at.run()
+        assert fired_batch == fired_at == [1.0, 2.0, 3.0]
+
+    def test_schedule_batch_rejects_past_times(self):
+        sim = Simulator()
+        sim.at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_batch([(1.0, lambda: None)])
 
 
 class TestPeriodic:

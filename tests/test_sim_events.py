@@ -96,3 +96,120 @@ class TestEventQueueOperations:
         assert not queue
         queue.push(0.0, lambda: None)
         assert queue
+
+
+class TestCompaction:
+    def test_mass_cancellation_compacts_the_heap(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(300)]
+        for event in events[:200]:
+            queue.cancel(event)
+        # More than half the entries were dead: the heap must have shrunk
+        # instead of carrying 200 tombstones to the end of the run, and the
+        # residual dead fraction stays below the compaction threshold.
+        assert queue.heap_size < 300
+        assert queue.dead_entries <= 0.5 * queue.heap_size + 1
+        assert len(queue) == 100
+
+    def test_compaction_preserves_order_and_liveness(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda i=i: i) for i in range(200)]
+        for event in events[::2]:
+            queue.cancel(event)
+        queue.compact()
+        popped = []
+        while queue:
+            popped.append(queue.pop().time)
+        assert popped == sorted(popped)
+        assert popped == [float(i) for i in range(1, 200, 2)]
+
+    def test_small_queues_not_compacted(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(10)]
+        for event in events[:8]:
+            queue.cancel(event)
+        # Below the compaction floor: lazy deletion only.
+        assert queue.heap_size == 10
+        assert len(queue) == 2
+
+    def test_explicit_compact_on_empty_queue(self):
+        queue = EventQueue()
+        queue.compact()
+        assert len(queue) == 0
+
+
+class TestReschedule:
+    def test_reschedule_reuses_the_handle(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: "x", label="periodic")
+        popped = queue.pop()
+        assert popped is event
+        again = queue.reschedule(event, 5.0)
+        assert again is event
+        assert event.time == 5.0
+        assert not event.cancelled
+        assert event.label == "periodic"
+        assert queue.pop() is event
+
+    def test_rescheduled_event_ordered_with_fresh_pushes(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.pop()
+        queue.push(3.0, lambda: None)
+        queue.reschedule(event, 2.0)
+        assert queue.pop().time == 2.0
+        assert queue.pop().time == 3.0
+
+
+class TestExtend:
+    def test_extend_matches_sequential_pushes(self):
+        bulk, sequential = EventQueue(), EventQueue()
+        times = [5.0, 1.0, 3.0, 1.0, 2.0]
+        bulk.extend((t, lambda: None) for t in times)
+        for t in times:
+            sequential.push(t, lambda: None)
+        bulk_order = [(e.time, e.sequence) for e in iter(bulk.pop, None)]
+        seq_order = [(e.time, e.sequence) for e in iter(sequential.pop, None)]
+        assert bulk_order == seq_order
+
+    def test_extend_into_populated_queue(self):
+        queue = EventQueue()
+        queue.push(2.5, lambda: None)
+        queue.extend((float(t), lambda: None) for t in (1, 3))
+        assert [queue.pop().time for _ in range(3)] == [1.0, 2.5, 3.0]
+
+    def test_extend_rejects_negative_times(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.extend([(1.0, lambda: None), (-1.0, lambda: None)])
+
+    def test_failed_extend_leaves_queue_intact(self):
+        """A mid-iterable validation failure must not half-apply the batch."""
+        queue = EventQueue()
+        queue.push(5.0, lambda: None)
+        with pytest.raises(ValueError):
+            queue.extend([(1.0, lambda: None), (-1.0, lambda: None)])
+        assert len(queue) == 1
+        assert queue.pop().time == 5.0
+        assert queue.pop() is None
+        assert len(queue) == 0
+
+    def test_extend_empty_iterable(self):
+        queue = EventQueue()
+        assert queue.extend([]) == []
+        assert len(queue) == 0
+
+
+class TestPopBefore:
+    def test_pop_before_horizon_leaves_event_queued(self):
+        queue = EventQueue()
+        queue.push(10.0, lambda: None)
+        assert queue.pop_before(5.0) is None
+        assert len(queue) == 1  # still queued, not consumed
+        assert queue.pop_before(10.0).time == 10.0
+
+    def test_pop_before_none_is_plain_pop(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        assert queue.pop_before(None).time == 1.0
+        assert queue.pop_before(None) is None
