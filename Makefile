@@ -6,7 +6,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test goldens check-goldens bench-smoke bench scenarios perf perf-check perf-baseline
+.PHONY: test goldens check-goldens goldens-paper check-goldens-paper \
+        bench-smoke bench scenarios perf perf-check perf-baseline perf-paper
 
 ## tier-1 test suite (unit + property + scenario + golden tests + benchmarks)
 test:
@@ -44,3 +45,15 @@ perf-check:
 ## refresh the committed perf baseline (benchmarks/perf/BENCH_core.json)
 perf-baseline:
 	$(PYTHON) -m repro.cli perf --update-baseline
+
+## perf suite including the end-to-end paper-scale benchmark (minutes)
+perf-paper:
+	$(PYTHON) -m repro.cli perf --paper-scale
+
+## regenerate the nightly paper-scale goldens (full Table 1 runs; minutes each)
+goldens-paper:
+	$(PYTHON) -m repro.scenarios.golden --update --tier paper-scale
+
+## verify the paper-scale goldens (what the nightly job runs)
+check-goldens-paper:
+	$(PYTHON) -m repro.scenarios.golden --tier paper-scale

@@ -123,3 +123,106 @@ class TestCli:
             ["perf", "--quick", "--update-baseline", "--check"], out=io.StringIO()
         )
         assert code == 2
+
+
+class TestMemoryBudgets:
+    """tracemalloc-based peak-allocation budgets for the memory-lean layers.
+
+    Budgets are set ~2x above the measured values so they catch accidental
+    re-introduction of per-event/per-record object churn, not allocator noise.
+    """
+
+    def test_trace_scheduling_is_leaner_than_batch_scheduling(self):
+        # Enough events that the 16k trace-feeder chunk is a small fraction
+        # of the schedule — the regime the trace path is built for.
+        result = suite.bench_memory_event_queue(50_000)
+        for backend in ("heap", "calendar"):
+            batch = result[f"{backend}_batch_peak_bytes_per_event"]
+            trace = result[f"{backend}_trace_peak_bytes_per_event"]
+            # Pooled, chunked trace feeding must stay well under the
+            # one-retained-handle-per-event batch path ...
+            assert trace < 0.6 * batch, (backend, trace, batch)
+            # ... and under an absolute per-event budget.
+            assert trace < 150.0, (backend, trace)
+
+    def test_event_pool_bounds_live_handles(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator(seed=1, queue_backend="calendar")
+        times = [float(i) * 0.01 for i in range(100_000)]
+        sim.schedule_trace(times, lambda: None, chunk_size=4096)
+        sim.run()
+        assert sim.events_fired >= 100_000
+        # The pool retains at most one chunk of recycled handles.
+        assert sim._queue.pool_size <= 4096
+
+    def test_latency_cache_memory_budgets(self):
+        result = suite.bench_memory_latency_cache(300)
+        pairs = 300 * 299 // 2
+        # Dense: 8-byte slots per possible pair (+ row offsets) plus a boxed
+        # float per computed pair — still an order of magnitude leaner than a
+        # ~100 B/entry dict at full fill.
+        assert result["dense_cache_nbytes"] == (
+            8 * (pairs + 300) + 24 * result["dense_cache_entries"]
+        )
+        # The forced-LRU variant is bounded by its capacity (300 entries).
+        assert result["lru_cache_entries"] <= 300
+        assert result["lru_cache_nbytes"] <= 100 * 300
+
+    def test_metric_reservoirs_are_allocation_bounded(self):
+        result = suite.bench_memory_metrics(50_000)
+        retained = result["retained_peak_bytes_per_record"]
+        compact = result["compact_peak_bytes_per_record"]
+        # Compact reservoirs must not scale with the query count.
+        assert compact < 32.0, compact
+        assert compact < retained / 4.0, (compact, retained)
+
+    def test_memory_section_is_part_of_the_suite_document(self):
+        document = suite.run_suite(scenarios=["paper-default"], quick=True)
+        memory = document["memory"]
+        assert set(memory) == {"event_queue", "latency_cache", "metrics"}
+        assert memory["metrics"]["compact_peak_bytes_per_record"] > 0
+
+    def test_memory_section_can_be_disabled(self):
+        document = suite.run_suite(scenarios=["paper-default"], quick=True, memory=False)
+        assert "memory" not in document
+
+
+class TestPaperScaleSection:
+    def test_paper_scale_is_not_part_of_the_default_suite(self):
+        document = suite.run_suite(scenarios=["paper-default"], quick=True)
+        assert "paper_scale" not in document
+
+    def test_committed_baseline_has_the_paper_scale_section(self):
+        baseline = suite.load_baseline()
+        paper = baseline["paper_scale"]
+        assert paper["scenario"] == suite.PAPER_SCALE_SCENARIO
+        assert paper["num_queries"] > 500_000
+        assert paper["events_per_s"] > 0
+        assert paper["peak_rss_mb"] > 0
+
+    def test_paper_scale_scenario_excluded_from_regression_gate(self):
+        """The per-PR gate never requires a minutes-long fresh run."""
+        baseline = suite.load_baseline()
+        assert suite.PAPER_SCALE_SCENARIO not in baseline.get("scenarios", {})
+
+    def test_update_baseline_without_paper_scale_keeps_the_section(
+        self, tmp_path, monkeypatch
+    ):
+        """`make perf-baseline` (no --paper-scale) must not drop paper_scale."""
+        baseline = tmp_path / "BENCH_core.json"
+        baseline.write_text(
+            json.dumps({"schema": suite.SCHEMA_VERSION, "scenarios": {},
+                        "micro": {}, "paper_scale": {"wall_s": 1.0}}),
+            encoding="utf-8",
+        )
+        monkeypatch.setenv(suite.BASELINE_PATH_ENV, str(baseline))
+        code = cli.main(
+            ["perf", "--quick", "--no-memory", "--update-baseline",
+             "--scenarios", "paper-default", "--output", "-"],
+            out=io.StringIO(),
+        )
+        assert code == 0
+        refreshed = json.loads(baseline.read_text())
+        assert refreshed["paper_scale"] == {"wall_s": 1.0}
+        assert "paper-default" in refreshed["scenarios"]

@@ -91,6 +91,7 @@ class Squirrel:
         sim: Simulator,
         topology: Topology,
         latency_model: Optional[LatencyModel] = None,
+        compact_metrics: bool = False,
     ) -> None:
         self.config = config
         self.sim = sim
@@ -98,7 +99,9 @@ class Squirrel:
         self.latency = latency_model or LatencyModel(topology)
         self.idspace = IdSpace(config.id_bits)
         self.ring = ChordRing(self.idspace, auto_stabilize=False)
-        self.metrics = MetricsCollector(window_s=config.metrics_window_s)
+        self.metrics = MetricsCollector(
+            window_s=config.metrics_window_s, retain_records=not compact_metrics
+        )
 
         self._peers: Dict[str, SquirrelPeer] = {}
         self._peers_by_host: Dict[int, str] = {}

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -41,6 +42,7 @@ from repro.experiments.gossip_tradeoff import (
 from repro.experiments.locality import run_locality_experiment
 from repro.metrics.report import format_table
 from repro import perf as perf_module
+from repro.scenarios import diffing as diffing_module
 from repro.scenarios import golden as golden_module
 from repro.scenarios import parallel as parallel_module
 from repro.scenarios.library import get_scenario, iter_scenarios
@@ -89,6 +91,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_verb.add_argument("--update-goldens", "--update-golden",
                           dest="update_goldens", action="store_true",
                           help="rewrite the scenario's committed golden file")
+    diff_verb = verbs.add_parser(
+        "diff", help="compare two metrics digests (files produced by `scenarios run`)"
+    )
+    diff_verb.add_argument("left", type=str, help="baseline digest JSON file")
+    diff_verb.add_argument("right", type=str, help="candidate digest JSON file")
+    diff_verb.add_argument("--exact", action="store_true",
+                           help="require byte-identical metrics instead of the "
+                                "golden tolerance bands")
+    diff_verb.add_argument("--all-metrics", action="store_true",
+                           help="print unchanged metrics too")
 
     perf = subparsers.add_parser(
         "perf", help="run the perf-benchmark suite and emit BENCH_core.json"
@@ -113,6 +125,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "benchmarks/perf/BENCH_core.json)")
     perf.add_argument("--update-baseline", action="store_true",
                       help="write the results to the committed baseline path")
+    perf.add_argument("--paper-scale", action="store_true",
+                      help="additionally run the paper-scale benchmark "
+                           "(paper-default-full-scale end to end with wall/RSS "
+                           "accounting; takes minutes)")
+    perf.add_argument("--no-memory", dest="memory", action="store_false",
+                      help="skip the tracemalloc memory benchmarks")
     return parser
 
 
@@ -228,17 +246,36 @@ def _command_scenarios_list(out) -> int:
         systems = "+".join(spec.systems)
         churn = "yes" if spec.churn.is_enabled else "no"
         rows.append(
-            (spec.name, systems, f"{spec.duration_s / HOUR:.1f}", churn, spec.description)
+            (
+                spec.name,
+                spec.tier,
+                systems,
+                f"{spec.duration_s / HOUR:.1f}",
+                churn,
+                spec.description,
+            )
         )
     print(
         format_table(
-            ["scenario", "systems", "hours", "churn", "description"],
+            ["scenario", "tier", "systems", "hours", "churn", "description"],
             rows,
             title="Scenario library",
         ),
         file=out,
     )
     return 0
+
+
+def _command_scenarios_diff(args: argparse.Namespace, out) -> int:
+    try:
+        left = diffing_module.load_digest(Path(args.left))
+        right = diffing_module.load_digest(Path(args.right))
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    diff = diffing_module.diff_digests(left, right, exact=args.exact)
+    print(diffing_module.format_diff(diff, all_rows=args.all_metrics), file=out)
+    return 1 if diff.out_of_tolerance else 0
 
 
 def _command_scenarios_run_all(args: argparse.Namespace, out) -> int:
@@ -354,11 +391,27 @@ def _command_perf(args: argparse.Namespace, out) -> int:
         scale=args.scale,
         repeats=args.repeats,
         quick=args.quick,
+        memory=args.memory,
+        paper_scale=args.paper_scale,
     )
     if args.update_baseline:
-        path = perf_module.suite.write_document(
-            document, perf_module.default_baseline_path()
-        )
+        baseline_path = perf_module.default_baseline_path()
+        if "paper_scale" not in document and baseline_path.exists():
+            # A refresh without --paper-scale must not silently drop the
+            # committed paper-scale section (the nightly tier and its tests
+            # rely on it): carry the previous numbers over.
+            try:
+                previous = perf_module.suite.load_baseline(baseline_path)
+            except (OSError, json.JSONDecodeError):
+                previous = {}
+            if "paper_scale" in previous:
+                document["paper_scale"] = previous["paper_scale"]
+                print(
+                    "note: kept the previous paper_scale baseline section "
+                    "(re-run with --paper-scale to refresh it)",
+                    file=out,
+                )
+        path = perf_module.suite.write_document(document, baseline_path)
         print(f"updated baseline {path}", file=out)
     if args.output and args.output != "-":
         path = perf_module.suite.write_document(document, Path(args.output))
@@ -385,10 +438,23 @@ def _command_perf(args: argparse.Namespace, out) -> int:
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """Entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
-    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(build_parser().parse_args(argv), out)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `... | head`) closed the pipe: that is a
+        # normal way to stop reading, not an error.  Detach stdout so the
+        # interpreter's shutdown flush does not raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(args: argparse.Namespace, out) -> int:
     if args.command == "scenarios":
         if args.verb == "list":
             return _command_scenarios_list(out)
+        if args.verb == "diff":
+            return _command_scenarios_diff(args, out)
         return _command_scenarios_run(args, out)
     if args.command == "perf":
         return _command_perf(args, out)

@@ -28,7 +28,7 @@ from repro.workload.catalog import ObjectId
 _AGE_THEN_CONTACT = attrgetter("age", "contact")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GossipMessage:
     """One gossip message: the sender's current summary plus a view subset."""
 
@@ -41,7 +41,7 @@ class GossipMessage:
         return len(self.view_subset)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PushMessage:
     """A one-way push of content-list changes towards the directory peer."""
 
@@ -54,7 +54,7 @@ class PushMessage:
         return len(self.added) + len(self.removed)
 
 
-@dataclass
+@dataclass(slots=True)
 class ContentPeer:
     """State and behaviour of one content peer ``c(ws, loc)``."""
 

@@ -19,7 +19,7 @@ from repro.datastructures.bloom import BloomFilter
 from repro.workload.catalog import ObjectId
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectoryEntry:
     """One directory-index entry: a content peer, its age and its object list."""
 
@@ -31,7 +31,7 @@ class DirectoryEntry:
         self.age = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class RedirectionDecision:
     """Outcome of Algorithm 3 at one directory peer."""
 
@@ -40,7 +40,7 @@ class RedirectionDecision:
     target: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectoryPeer:
     """State and behaviour of a directory peer ``d(ws, loc)``."""
 

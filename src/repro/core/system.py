@@ -42,7 +42,7 @@ from repro.workload.assignment import ResolvedQuery
 from repro.workload.catalog import Catalog, ObjectId
 
 
-@dataclass
+@dataclass(slots=True)
 class _DirectoryFlowResult:
     """Internal result of running Algorithm 3 from a starting directory peer."""
 
@@ -76,6 +76,7 @@ class FlowerCDN:
         topology: Topology,
         latency_model: Optional[LatencyModel] = None,
         catalog: Optional[Catalog] = None,
+        compact_metrics: bool = False,
     ) -> None:
         self.config = config
         self.sim = sim
@@ -108,7 +109,9 @@ class FlowerCDN:
         )
         self._gossip_subset_rng = sim.streams.stream("gossip:subset")
         self.dring = DRing(self.keys, latency_callback=self._peer_latency, ring=substrate)
-        self.metrics = MetricsCollector(window_s=config.metrics_window_s)
+        self.metrics = MetricsCollector(
+            window_s=config.metrics_window_s, retain_records=not compact_metrics
+        )
         self.bandwidth = BandwidthAccountant(window_s=config.metrics_window_s)
 
         self._directory_peers: Dict[str, DirectoryPeer] = {}

@@ -40,7 +40,7 @@ class AgedEntry(Generic[P]):
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class AgedView(Generic[P]):
     """A bounded mapping of contact → :class:`AgedEntry`.
 

@@ -16,7 +16,6 @@ EXPERIMENTS.md records which scale produced the committed numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from functools import partial
 from typing import List, Optional
 
 from repro.baselines.squirrel import Squirrel, SquirrelConfig
@@ -32,6 +31,7 @@ from repro.sim.rng import RandomStreams
 from repro.workload.assignment import ClientAssigner, ResolvedQuery
 from repro.workload.catalog import Catalog
 from repro.workload.generator import QueryGenerator, WorkloadConfig
+from repro.workload.trace import ResolvedTraceArrays
 
 
 @dataclass(frozen=True)
@@ -43,6 +43,12 @@ class ExperimentSetup:
     workload: WorkloadConfig
     squirrel: SquirrelConfig = field(default_factory=SquirrelConfig)
     seed: int = 42
+    #: event-queue backend for the simulators ("heap" or "calendar"); both
+    #: produce byte-identical runs, see docs/performance.md for the heuristic
+    queue_backend: str = "heap"
+    #: when True the metric collectors fold records into array reservoirs
+    #: instead of retaining per-query objects (paper-scale memory mode)
+    compact_metrics: bool = False
 
     # -- canonical scales -----------------------------------------------------
 
@@ -143,6 +149,7 @@ class ExperimentRunner:
         self.setup = setup
         self._topology: Optional[Topology] = None
         self._resolved: Optional[List[ResolvedQuery]] = None
+        self._trace: Optional[ResolvedTraceArrays] = None
         self._catalog: Optional[Catalog] = None
         self._flower_system: Optional[FlowerCDN] = None
         self._last_replicator: Optional[ActiveReplicator] = None
@@ -172,13 +179,18 @@ class ExperimentRunner:
         suite, which times the dispatch phase in isolation) can drive the
         replay themselves instead of going through :meth:`run_flower`.
         """
-        sim = Simulator(seed=self.setup.seed, end_time=self.setup.flower.simulation_duration_s)
+        sim = Simulator(
+            seed=self.setup.seed,
+            end_time=self.setup.flower.simulation_duration_s,
+            queue_backend=self.setup.queue_backend,
+        )
         system = FlowerCDN(
             self.setup.flower,
             sim,
             self.topology,
             latency_model=LatencyModel(self.topology),
             catalog=self.catalog,
+            compact_metrics=self.setup.compact_metrics,
         )
         system.bootstrap()
         return sim, system
@@ -186,10 +198,17 @@ class ExperimentRunner:
     # Backwards-compatible alias (pre-perf-suite name).
     _build_flower = build_flower
 
-    def resolved_queries(self) -> List[ResolvedQuery]:
-        """The query trace with concrete originating hosts (built once, reused)."""
-        if self._resolved is not None:
-            return self._resolved
+    def resolved_trace(self) -> ResolvedTraceArrays:
+        """The query trace with concrete originating hosts, as array columns.
+
+        Built once and shared by every system run (the comparative figures
+        require both systems to process the same stream).  Individual
+        :class:`ResolvedQuery` objects are materialised transiently at
+        dispatch time, so a paper-scale trace costs ~30 bytes per query
+        resident instead of several hundred.
+        """
+        if self._trace is not None:
+            return self._trace
         # Directory-peer hosts are excluded from client assignment so the same
         # trace is valid for both Flower-CDN (where those hosts are reserved)
         # and Squirrel (where they simply never ask anything).
@@ -205,18 +224,26 @@ class ExperimentRunner:
             reserved_hosts=reserved,
         )
         duration = self.setup.flower.simulation_duration_s
-        self._resolved = assigner.assign_all(generator.generate(duration))
+        self._trace = assigner.assign_trace(generator.generate_trace(duration))
+        return self._trace
+
+    def resolved_queries(self) -> List[ResolvedQuery]:
+        """The resolved trace as a list of objects (legacy interface).
+
+        Materialises — and retains — one :class:`ResolvedQuery` per query;
+        prefer :meth:`resolved_trace` anywhere memory matters.
+        """
+        if self._resolved is None:
+            trace = self.resolved_trace()
+            self._resolved = [trace.resolved_query(i) for i in range(len(trace))]
         return self._resolved
 
     # -- runs -------------------------------------------------------------------------
 
     def _replay_trace(self, sim: Simulator, system) -> float:
         """Schedule the shared trace against ``system`` and run to the horizon."""
-        handle = system.handle_query
-        sim.schedule_batch(
-            ((query.time, partial(handle, query)) for query in self.resolved_queries()),
-            label="query",
-        )
+        trace = self.resolved_trace()
+        sim.schedule_trace(trace.times, trace.dispatcher(system.handle_query), label="query")
         duration = self.setup.flower.simulation_duration_s
         sim.run(until=duration)
         return duration
@@ -232,7 +259,7 @@ class ExperimentRunner:
         the active-replication extension (both off by default, matching the
         configuration the paper evaluates).
         """
-        self.resolved_queries()  # build the trace before the live system exists
+        self.resolved_trace()  # build the trace before the live system exists
         sim, system = self._build_flower()
         injector = None
         if churn is not None and churn.is_enabled:
@@ -267,10 +294,16 @@ class ExperimentRunner:
     def run_squirrel(self) -> RunResult:
         """Run the Squirrel baseline over the same trace."""
         sim = Simulator(
-            seed=self.setup.seed, end_time=self.setup.flower.simulation_duration_s
+            seed=self.setup.seed,
+            end_time=self.setup.flower.simulation_duration_s,
+            queue_backend=self.setup.queue_backend,
         )
         system = Squirrel(
-            self.setup.squirrel, sim, self.topology, latency_model=LatencyModel(self.topology)
+            self.setup.squirrel,
+            sim,
+            self.topology,
+            latency_model=LatencyModel(self.topology),
+            compact_metrics=self.setup.compact_metrics,
         )
         system.bootstrap()
         duration = self._replay_trace(sim, system)

@@ -40,9 +40,16 @@ class QueryOutcome(Enum):
         return self is not QueryOutcome.SERVER_MISS
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class QueryRecord:
-    """Everything the evaluation needs to know about one processed query."""
+    """Everything the evaluation needs to know about one processed query.
+
+    Constructed once per simulated query inside the dispatch hot loop.
+    Deliberately *not* frozen — a frozen ``__init__`` routes every field
+    through ``object.__setattr__``, which costs real time at half a million
+    records per run; ``unsafe_hash`` keeps value-object hashing.  Treat
+    instances as immutable.
+    """
 
     query_id: int
     time: float
@@ -56,8 +63,25 @@ class QueryRecord:
     redirection_failures: int = 0
 
 
+#: compact-mode collectors fold their pending buffer into the aggregates once
+#: it reaches this many entries, so the buffer acts as a bounded ring rather
+#: than an ever-growing list
+PENDING_FLUSH_THRESHOLD = 4096
+
+
 class MetricsCollector:
-    """Accumulates :class:`QueryRecord` objects and derives the paper's metrics."""
+    """Accumulates :class:`QueryRecord` objects and derives the paper's metrics.
+
+    Two storage modes share identical aggregate semantics:
+
+    * ``retain_records=True`` (default) — every record is kept; ``record()``
+      is a bare list append and aggregation happens lazily on first read.
+    * ``retain_records=False`` (compact) — records are folded into the
+      series/histogram/counter reservoirs in bounded batches and then
+      discarded, plus two scalar accumulators for hops and redirection
+      failures.  Memory stays O(windows + bins) regardless of query count —
+      the paper-scale mode.  ``records`` is unavailable.
+    """
 
     def __init__(
         self,
@@ -66,6 +90,7 @@ class MetricsCollector:
         latency_bins: int = 10,
         distance_bin_ms: float = 100.0,
         distance_bins: int = 6,
+        retain_records: bool = True,
     ) -> None:
         self._records: List[QueryRecord] = []
         self._hit_series = TimeSeries(window_s)
@@ -74,19 +99,37 @@ class MetricsCollector:
         self._latency_histogram = Histogram(latency_bin_ms, latency_bins)
         self._distance_histogram = Histogram(distance_bin_ms, distance_bins)
         self._outcome_counts: Dict[QueryOutcome, int] = defaultdict(int)
+        self._retain = retain_records
         # record() is on the per-query hot path, so it only appends; series,
         # histograms and outcome counts are folded in lazily (and
-        # incrementally) by _sync() when an aggregate is read.
+        # incrementally) by _sync() when an aggregate is read.  In compact
+        # mode the same buffer is flushed whenever it fills, so folded
+        # records can be dropped instead of retained.
         self._append_record = self._records.append
+        if retain_records:
+            # Retained mode's hot path is the bare list append itself (the
+            # instance attribute shadows the compact-mode method below).
+            self.record = self._append_record
         self._aggregated_upto = 0
+        #: compact-mode scalar reservoirs (folded counterparts of the
+        #: per-record reductions the retain mode computes on demand)
+        self._folded_count = 0
+        self._folded_hops = 0
+        self._folded_failures = 0
 
     # -- recording -------------------------------------------------------------
 
     def record(self, record: QueryRecord) -> None:
+        # Compact mode: append, then flush the buffer once it fills (retained
+        # mode rebinds ``record`` to the raw list append in __init__).
         self._append_record(record)
+        if len(self._records) >= PENDING_FLUSH_THRESHOLD:
+            self._sync()
 
     def record_all(self, records: Iterable[QueryRecord]) -> None:
         self._records.extend(records)
+        if not self._retain and len(self._records) >= PENDING_FLUSH_THRESHOLD:
+            self._sync()
 
     def _sync(self) -> None:
         """Fold not-yet-aggregated records into the derived structures.
@@ -94,6 +137,7 @@ class MetricsCollector:
         Incremental: each record is folded exactly once, in append order, so
         the resulting series/histograms/counts are identical to eager
         per-record updates regardless of how reads and writes interleave.
+        Compact mode additionally drops the folded records.
         """
         records = self._records
         upto = self._aggregated_upto
@@ -106,6 +150,8 @@ class MetricsCollector:
         distance_add = self._distance_series.add
         distance_hist_add = self._distance_histogram.add
         miss = QueryOutcome.SERVER_MISS
+        folded_hops = 0
+        folded_failures = 0
         for record in records[upto:]:
             outcome = record.outcome
             counts[outcome] += 1
@@ -118,26 +164,47 @@ class MetricsCollector:
                 # satisfied from the P2P system (Section 6).
                 distance_add(time, record.transfer_distance_ms)
                 distance_hist_add(record.transfer_distance_ms)
-        self._aggregated_upto = len(records)
+            folded_hops += record.overlay_hops
+            folded_failures += record.redirection_failures
+        self._folded_count += len(records) - upto
+        self._folded_hops += folded_hops
+        self._folded_failures += folded_failures
+        if self._retain:
+            self._aggregated_upto = len(records)
+        else:
+            records.clear()
+            self._aggregated_upto = 0
 
     # -- aggregates ---------------------------------------------------------------
 
     @property
+    def retains_records(self) -> bool:
+        return self._retain
+
+    @property
     def num_queries(self) -> int:
-        return len(self._records)
+        if self._retain:
+            return len(self._records)
+        return self._folded_count + len(self._records)
 
     @property
     def records(self) -> Sequence[QueryRecord]:
+        if not self._retain:
+            raise RuntimeError(
+                "per-query records are not retained in compact mode "
+                "(MetricsCollector(retain_records=False))"
+            )
         return tuple(self._records)
 
     @property
     def hit_ratio(self) -> float:
         """Fraction of queries satisfied from the P2P system."""
-        if not self._records:
+        total = self.num_queries
+        if not total:
             return 0.0
         self._sync()
         hits = sum(count for outcome, count in self._outcome_counts.items() if outcome.is_hit)
-        return hits / len(self._records)
+        return hits / total
 
     @property
     def average_lookup_latency_ms(self) -> float:
@@ -151,20 +218,27 @@ class MetricsCollector:
 
     @property
     def average_overlay_hops(self) -> float:
-        if not self._records:
+        total = self.num_queries
+        if not total:
             return 0.0
-        return sum(r.overlay_hops for r in self._records) / len(self._records)
+        self._sync()
+        if self._retain:
+            return sum(r.overlay_hops for r in self._records) / total
+        return self._folded_hops / total
 
     @property
     def redirection_failures(self) -> int:
-        return sum(r.redirection_failures for r in self._records)
+        if self._retain:
+            return sum(r.redirection_failures for r in self._records)
+        self._sync()
+        return self._folded_failures
 
     def outcome_counts(self) -> Dict[QueryOutcome, int]:
         self._sync()
         return dict(self._outcome_counts)
 
     def outcome_fractions(self) -> Dict[QueryOutcome, float]:
-        total = len(self._records)
+        total = self.num_queries
         if not total:
             return {}
         self._sync()
@@ -225,7 +299,10 @@ class BandwidthAccountant:
         self._peer_first_seen: Dict[str, float] = {}
         # record_message() runs on every background message inside the sim
         # loop: validation stays eager (error locality), accumulation is
-        # deferred to _sync() like MetricsCollector's.
+        # deferred to _sync() like MetricsCollector's.  The buffer is flushed
+        # whenever it fills — folding is incremental and order-preserving, so
+        # early flushes are invisible to readers while keeping the buffer a
+        # bounded ring instead of one tuple per message of the whole run.
         self._pending: List[tuple] = []
         self._append_pending = self._pending.append
 
@@ -238,10 +315,14 @@ class BandwidthAccountant:
         if category not in self._CATEGORY_SET:
             raise ValueError(f"unknown traffic category {category!r}")
         self._append_pending((time, sender, receiver, num_bytes, category))
+        if len(self._pending) >= PENDING_FLUSH_THRESHOLD:
+            self._sync()
 
     def observe_peer(self, time: float, peer: str) -> None:
         """Register a peer that participates even if it never sends traffic."""
         self._append_pending((time, peer, None, 0, None))
+        if len(self._pending) >= PENDING_FLUSH_THRESHOLD:
+            self._sync()
 
     def _sync(self) -> None:
         """Fold pending messages/observations into the aggregates, in order."""

@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.rng import RandomStreams, derive_seed
 
@@ -82,7 +82,7 @@ class TopologyConfig:
         return tuple(w / total for w in weights)
 
 
-@dataclass
+@dataclass(slots=True)
 class Host:
     """An underlying network host onto which a peer may be mapped."""
 
@@ -115,16 +115,38 @@ class Topology:
         self._centres: List[Tuple[float, float]] = []
         self._by_locality: Dict[int, List[int]] = {}
         self._build()
-        # Memo of symmetric pair -> latency.  The same directory/content-peer
-        # pairs are queried thousands of times per run, and the latency is a
-        # pure function of the pair, so entries never go stale; the cache is
-        # bounded (oldest-first eviction) purely to cap memory.
+        # Memo of symmetric pair -> latency.  The value is a pure function of
+        # the pair, so entries never go stale; the memo is bounded purely to
+        # cap memory.  Two backends:
+        #
+        # * "dense" — when the full triangular pair matrix fits within the
+        #   configured bound, a flat preallocated table indexed by the
+        #   triangular pair index (``rows[lo] + hi``; ``None`` = not yet
+        #   computed).  8 bytes per *possible* pair plus one boxed float per
+        #   computed one, no per-entry dict overhead, no eviction — and a hit
+        #   is a row-offset add plus one list load, faster than a dict probe.
+        # * "lru"   — for topologies whose pair matrix exceeds the bound
+        #   (~12.5M pairs at 5000 hosts), a capacity-bounded dict with
+        #   least-recently-used eviction; evicted pairs simply recompute to
+        #   the identical value later.
         if latency_cache_size <= 0:
             raise ValueError("latency_cache_size must be positive")
-        self._latency_cache: Dict[int, float] = {}
         self._latency_cache_size = latency_cache_size
         self._latency_hits = 0
         self._latency_misses = 0
+        num_hosts = len(self._hosts)
+        num_pairs = num_hosts * (num_hosts - 1) // 2
+        if num_pairs <= latency_cache_size:
+            self._latency_dense: Optional[List[Optional[float]]] = [None] * num_pairs
+            # Row offsets: pair (lo, hi) with lo < hi lives at rows[lo] + hi.
+            self._latency_rows: List[int] = [
+                lo * (2 * num_hosts - lo - 1) // 2 - lo - 1 for lo in range(num_hosts)
+            ]
+            self._latency_cache: Optional[Dict[int, float]] = None
+        else:
+            self._latency_dense = None
+            self._latency_rows = []
+            self._latency_cache = {}
 
     # -- construction ------------------------------------------------------
 
@@ -215,36 +237,75 @@ class Topology:
         if a == b:
             return 0.0
         lo, hi = (a, b) if a <= b else (b, a)
+        dense = self._latency_dense
+        if dense is not None:
+            index = self._latency_rows[lo] + hi
+            latency = dense[index]
+            if latency is not None:
+                self._latency_hits += 1
+                return latency
+            self._latency_misses += 1
+            latency = self._compute_latency(lo, hi)
+            dense[index] = latency
+            return latency
         key = lo * len(self._hosts) + hi
         cache = self._latency_cache
-        try:
-            latency = cache[key]
-        except KeyError:
-            pass
-        else:
+        latency = cache.pop(key, None)
+        if latency is not None:
+            # LRU: re-insert at the back (dict preserves insertion order).
             self._latency_hits += 1
+            cache[key] = latency
             return latency
         self._latency_misses += 1
-        ha, hb = self._hosts[lo], self._hosts[hi]
-        distance = math.hypot(ha.x - hb.x, ha.y - hb.y)
-        latency = self._config.min_latency_ms + distance
-        latency += self._pair_jitter(lo, hi)
-        latency = max(self._config.min_latency_ms, min(self._config.max_latency_ms, latency))
+        latency = self._compute_latency(lo, hi)
         if len(cache) >= self._latency_cache_size:
-            # Evict the oldest entry (dict preserves insertion order); any
-            # evicted pair is simply recomputed to the identical value later.
+            # Evict the least-recently-used entry; any evicted pair is simply
+            # recomputed to the identical value later.
             del cache[next(iter(cache))]
         cache[key] = latency
         return latency
 
-    def latency_cache_info(self) -> Dict[str, int]:
-        """Hit/miss/size statistics of the pairwise latency memo."""
+    def _compute_latency(self, lo: int, hi: int) -> float:
+        """The (pure) latency function the memo backends cache."""
+        ha, hb = self._hosts[lo], self._hosts[hi]
+        distance = math.hypot(ha.x - hb.x, ha.y - hb.y)
+        latency = self._config.min_latency_ms + distance
+        latency += self._pair_jitter(lo, hi)
+        return max(self._config.min_latency_ms, min(self._config.max_latency_ms, latency))
+
+    def latency_cache_info(self) -> Dict[str, object]:
+        """Hit/miss/size/backend statistics of the pairwise latency memo.
+
+        ``size`` counts the pairs currently cached, ``capacity`` the
+        configured bound on them; ``backend`` reports which representation is
+        active ("dense" triangular array or capacity-bounded "lru" dict).
+        """
+        if self._latency_dense is not None:
+            # Dense entries are filled exactly once and never evicted, so the
+            # miss counter equals the number of populated slots.
+            size = self._latency_misses
+            backend = "dense"
+        else:
+            size = len(self._latency_cache)
+            backend = "lru"
         return {
             "hits": self._latency_hits,
             "misses": self._latency_misses,
-            "size": len(self._latency_cache),
+            "size": size,
             "capacity": self._latency_cache_size,
+            "backend": backend,
         }
+
+    def latency_cache_nbytes(self) -> int:
+        """Approximate bytes held by the latency memo (diagnostic)."""
+        if self._latency_dense is not None:
+            # 8-byte table slots (+ row offsets) plus one boxed float per
+            # computed pair.
+            return 8 * (len(self._latency_dense) + len(self._latency_rows)) + (
+                24 * self._latency_misses
+            )
+        # dict-of-float entries: ~100 bytes each including key/value boxing
+        return 100 * len(self._latency_cache)
 
     def _pair_jitter(self, a: int, b: int) -> float:
         """Deterministic, symmetric jitter for the (a, b) pair."""

@@ -36,7 +36,7 @@ class RoutingPolicy(Enum):
     CONSTRAINED = "constrained"
 
 
-@dataclass
+@dataclass(slots=True)
 class RouteResult:
     """Outcome of routing one message."""
 
@@ -71,9 +71,24 @@ class KBRRouter:
     ) -> None:
         self._ring = ring
         self._latency = latency_callback
-        # Generous default bound: greedy routing converges in O(log n) hops,
-        # the bound only guards against pathological routing-state corruption.
-        self._max_hops = max_hops if max_hops is not None else 4 * ring.idspace.bits
+        # Optional explicit bound; when None the bound adapts to the live ring
+        # size at route time (see _hop_bound).
+        self._max_hops = max_hops
+
+    def _hop_bound(self) -> int:
+        """Hop bound for one route call.
+
+        Greedy numerically-closest routing strictly decreases the distance to
+        the key every hop, so it always terminates — but progress *towards a
+        key that lies counter-clockwise* happens mostly through predecessor
+        links (fingers only point clockwise) and can take O(ring size) hops.
+        The bound therefore scales with the live membership instead of the
+        identifier width alone; it only exists to turn genuinely corrupted
+        routing state into an error instead of an infinite loop.
+        """
+        if self._max_hops is not None:
+            return self._max_hops
+        return max(4 * self._ring.idspace.bits, 2 * len(self._ring) + 8)
 
     @property
     def ring(self) -> ChordRing:
@@ -101,8 +116,9 @@ class KBRRouter:
         current = self._ring.node(start_node_id)
         path = [current.node_id]
         latency_total = 0.0
+        max_hops = self._hop_bound()
 
-        for _ in range(self._max_hops):
+        for _ in range(max_hops):
             next_id = current.local_lookup(key)
             if policy is RoutingPolicy.CONSTRAINED and next_id != current.node_id:
                 if not constraint(next_id):
@@ -130,7 +146,7 @@ class KBRRouter:
             current = next_node
 
         raise RoutingError(
-            f"message for key {key} exceeded {self._max_hops} hops; routing state is inconsistent"
+            f"message for key {key} exceeded {max_hops} hops; routing state is inconsistent"
         )
 
     def lookup(self, start_node_id: int, raw_key: str) -> RouteResult:

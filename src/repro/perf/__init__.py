@@ -11,8 +11,11 @@ events/sec regresses more than the configured threshold against it.  See
 from repro.perf.suite import (  # noqa: F401
     BASELINE_PATH_ENV,
     DEFAULT_SCENARIOS,
+    PAPER_SCALE_SCENARIO,
     REGRESSION_THRESHOLD,
+    bench_paper_scale,
     compare_to_baseline,
     default_baseline_path,
+    run_memory_suite,
     run_suite,
 )

@@ -30,12 +30,15 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
+import sys
 import time
-from functools import partial
+import tracemalloc
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.driver import ExperimentRunner
+from repro.metrics.collectors import MetricsCollector, QueryOutcome, QueryRecord
 from repro.network.topology import Topology, TopologyConfig
 from repro.scenarios.library import get_scenario
 from repro.sim.engine import Simulator
@@ -43,13 +46,30 @@ from repro.sim.rng import RandomStreams
 from repro.workload.zipf import ZipfSampler
 
 #: schema version of BENCH_core.json
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 #: scenarios benchmarked by default (paper-default is the headline)
 DEFAULT_SCENARIOS = ("paper-default", "flash-crowd")
+#: the scenario the --paper-scale benchmark runs
+PAPER_SCALE_SCENARIO = "paper-default-full-scale"
 #: relative events/sec regression that fails the CI gate
 REGRESSION_THRESHOLD = 0.20
 #: environment override for the committed baseline location
 BASELINE_PATH_ENV = "REPRO_PERF_BASELINE"
+
+
+def _peak_rss_mb() -> float:
+    """Peak resident set size of this process in MB (0.0 when unavailable).
+
+    ``ru_maxrss`` is kilobytes on Linux but **bytes** on macOS.
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
 
 
 def default_baseline_path() -> Path:
@@ -186,14 +206,10 @@ def bench_scenario(
     for _ in range(repeats):
         runner = ExperimentRunner(spec.to_setup())
         total_start = time.perf_counter()
-        runner.resolved_queries()  # environment + trace construction
+        trace = runner.resolved_trace()  # environment + trace construction
         sim, system = runner.build_flower()
-        handle = system.handle_query
         dispatch_start = time.perf_counter()
-        sim.schedule_batch(
-            ((query.time, partial(handle, query)) for query in runner.resolved_queries()),
-            label="query",
-        )
+        sim.schedule_trace(trace.times, trace.dispatcher(system.handle_query), label="query")
         sim.run(until=spec.duration_s)
         dispatch_elapsed = time.perf_counter() - dispatch_start
         # Metric finalisation is part of the full wall clock.
@@ -215,6 +231,177 @@ def bench_scenario(
     }
 
 
+def bench_paper_scale(
+    name: str = PAPER_SCALE_SCENARIO, isolate: bool = False
+) -> Dict[str, float]:
+    """One end-to-end paper-scale run with wall-clock and memory accounting.
+
+    Runs the scenario exactly as ``repro scenarios run`` would (the spec pins
+    the calendar backend and compact metrics), split into the trace/dispatch
+    phases, and reports peak RSS.  A single repetition: at minutes per run,
+    best-of-N is not worth the wall clock — the nightly job tracks the trend
+    instead.
+
+    ``isolate=True`` runs the benchmark in a fresh child process so
+    ``peak_rss_mb`` measures *this run* rather than the process-lifetime
+    maximum (``ru_maxrss`` is monotone, so an in-process measurement would
+    include whatever suite sections ran earlier).  Falls back to the inline
+    run if the child cannot be spawned.
+    """
+    if isolate:
+        src_root = str(Path(__file__).resolve().parents[2])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        code = (
+            "import json\n"
+            "from repro.perf.suite import bench_paper_scale\n"
+            f"print(json.dumps(bench_paper_scale({name!r})))\n"
+        )
+        try:
+            child = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            return json.loads(child.stdout.strip().splitlines()[-1])
+        except (OSError, subprocess.CalledProcessError, ValueError, IndexError):
+            pass  # fall through to the inline run
+    spec = get_scenario(name)
+    runner = ExperimentRunner(spec.to_setup())
+    total_start = time.perf_counter()
+    trace = runner.resolved_trace()
+    trace_elapsed = time.perf_counter() - total_start
+    sim, system = runner.build_flower()
+    dispatch_start = time.perf_counter()
+    sim.schedule_trace(trace.times, trace.dispatcher(system.handle_query), label="query")
+    sim.run(until=spec.duration_s)
+    dispatch_elapsed = time.perf_counter() - dispatch_start
+    hit_ratio = system.metrics.hit_ratio
+    system.bandwidth.average_bps_per_peer(spec.duration_s)
+    total_elapsed = time.perf_counter() - total_start
+    info = runner.topology.latency_cache_info()
+    return {
+        "scenario": name,
+        "events_per_s": sim.events_fired / dispatch_elapsed,
+        "queries_per_s": system.metrics.num_queries / dispatch_elapsed,
+        "trace_s": trace_elapsed,
+        "dispatch_s": dispatch_elapsed,
+        "wall_s": total_elapsed,
+        "events_fired": sim.events_fired,
+        "num_queries": system.metrics.num_queries,
+        "num_content_peers": system.num_content_peers,
+        "hit_ratio": hit_ratio,
+        "peak_rss_mb": _peak_rss_mb(),
+        "trace_nbytes": trace.nbytes,
+        "latency_cache_backend": info["backend"],
+        "latency_cache_size": info["size"],
+    }
+
+
+# -- memory benchmarks --------------------------------------------------------
+
+
+def _traced_peak(fn) -> int:
+    """Peak tracemalloc bytes allocated while running ``fn``."""
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def bench_memory_event_queue(num_events: int = 50_000) -> Dict[str, float]:
+    """Peak bytes per scheduled event: retained handles vs pooled trace feed."""
+    results: Dict[str, float] = {"num_events": num_events}
+    times = [float(i) for i in range(num_events)]
+    for backend in ("heap", "calendar"):
+        sim = Simulator(seed=1, queue_backend=backend)
+        peak = _traced_peak(
+            lambda sim=sim: (sim.schedule_batch((t, _noop) for t in times), sim.run())
+        )
+        results[f"{backend}_batch_peak_bytes_per_event"] = peak / num_events
+        sim = Simulator(seed=1, queue_backend=backend)
+        peak = _traced_peak(
+            lambda sim=sim: (sim.schedule_trace(times, _noop), sim.run())
+        )
+        results[f"{backend}_trace_peak_bytes_per_event"] = peak / num_events
+    return results
+
+
+def bench_memory_latency_cache(num_hosts: int = 500) -> Dict[str, float]:
+    """Bytes held by the latency memo after touching every pair once."""
+    results: Dict[str, float] = {"num_hosts": num_hosts}
+    for label, cache_size in (
+        ("dense", Topology.DEFAULT_LATENCY_CACHE_SIZE),
+        ("lru", num_hosts),  # force the sparse backend with a small bound
+    ):
+        topology = Topology(
+            TopologyConfig(num_hosts=num_hosts, num_localities=3),
+            RandomStreams(7),
+            latency_cache_size=cache_size,
+        )
+        for a in range(0, num_hosts, 7):
+            for b in range(a + 1, num_hosts, 11):
+                topology.latency_ms(a, b)
+        info = topology.latency_cache_info()
+        results[f"{label}_cache_nbytes"] = topology.latency_cache_nbytes()
+        results[f"{label}_cache_entries"] = info["size"]
+    return results
+
+
+def bench_memory_metrics(num_records: int = 100_000) -> Dict[str, float]:
+    """Peak bytes per recorded query: retained records vs compact reservoirs.
+
+    Records are constructed *inside* the measured region — exactly as
+    ``handle_query`` does — so the retained mode pays for the resident
+    QueryRecord objects while the compact mode drops them at each fold.
+    """
+    results: Dict[str, float] = {"num_records": num_records}
+    hit, miss = QueryOutcome.LOCAL_OVERLAY_HIT, QueryOutcome.SERVER_MISS
+    for label, retain in (("retained", True), ("compact", False)):
+        collector = MetricsCollector(window_s=3600.0, retain_records=retain)
+
+        def fill(collector=collector):
+            record = collector.record
+            for i in range(num_records):
+                record(
+                    QueryRecord(
+                        query_id=i,
+                        time=float(i),
+                        website="site-000.example.org",
+                        locality=i % 3,
+                        outcome=hit if i % 3 else miss,
+                        lookup_latency_ms=float(i % 400),
+                        transfer_distance_ms=float(i % 200),
+                    )
+                )
+            collector.hit_ratio  # force the final fold
+
+        results[f"{label}_peak_bytes_per_record"] = _traced_peak(fill) / num_records
+    return results
+
+
+def run_memory_suite(quick: bool = False) -> Dict[str, Dict[str, float]]:
+    """The ``memory`` section of BENCH_core.json (tracemalloc-based, untimed)."""
+    if quick:
+        return {
+            "event_queue": bench_memory_event_queue(5_000),
+            "latency_cache": bench_memory_latency_cache(120),
+            "metrics": bench_memory_metrics(10_000),
+        }
+    return {
+        "event_queue": bench_memory_event_queue(),
+        "latency_cache": bench_memory_latency_cache(),
+        "metrics": bench_memory_metrics(),
+    }
+
+
 # -- the suite ----------------------------------------------------------------
 
 
@@ -223,11 +410,15 @@ def run_suite(
     scale: float = 1.0,
     repeats: int = 3,
     quick: bool = False,
+    memory: bool = True,
+    paper_scale: bool = False,
 ) -> Dict[str, object]:
     """Run the whole suite and return the ``BENCH_core.json`` document.
 
     ``quick`` shrinks every workload (used by the pytest smoke tests and the
     CI smoke job) — the numbers stay comparable in *shape*, not magnitude.
+    ``memory`` adds the tracemalloc section; ``paper_scale`` additionally runs
+    the full Table 1 scenario end to end (minutes — the nightly job's tier).
     """
     if quick:
         micro = {
@@ -250,7 +441,7 @@ def run_suite(
     scenario_results = {
         name: bench_scenario(name, scale=scale, repeats=repeats) for name in scenarios
     }
-    return {
+    document: Dict[str, object] = {
         "schema": SCHEMA_VERSION,
         "python": platform.python_version(),
         "repeats": repeats,
@@ -258,6 +449,15 @@ def run_suite(
         "micro": micro,
         "scenarios": scenario_results,
     }
+    if memory:
+        document["memory"] = run_memory_suite(quick=quick)
+    if paper_scale:
+        # Kept under its own key (not "scenarios") so the per-PR regression
+        # gate never requires a minutes-long fresh run to compare against.
+        # Isolated in a child process so peak_rss_mb reflects the paper-scale
+        # run alone, not whatever suite section peaked earlier.
+        document["paper_scale"] = bench_paper_scale(isolate=True)
+    return document
 
 
 # -- baseline comparison ------------------------------------------------------

@@ -1,0 +1,171 @@
+"""Digest comparison across branches / parameter sets (``scenarios diff``).
+
+``repro scenarios run NAME > A.json`` emits a metrics digest; this module
+compares two such digests — typically produced on different branches, seeds
+or parameter sets — metric by metric, with the same per-metric tolerance
+bands the golden suite uses.  Output is a structured row per metric (values,
+absolute and relative delta, whether the delta is inside the tolerance), so
+"did my refactor move any metric, and by how much" is one command:
+
+    repro scenarios diff baseline.json candidate.json
+    repro scenarios diff baseline.json candidate.json --exact
+
+Unlike the golden gate this is a *reporting* tool: it diffs whatever two
+digests it is given, even across different scenarios or scales (the header
+fields are reported as context rows rather than rejected).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.scenarios.golden import EXACT, FRACTION_TOLERANCE, Tolerance, _tolerance_for
+
+
+@dataclass(frozen=True, slots=True)
+class MetricDelta:
+    """One metric's comparison between two digests."""
+
+    metric: str  # dotted path, e.g. "flower.metrics.hit_ratio"
+    left: Optional[float]
+    right: Optional[float]
+    tolerance: Tolerance
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.left is None or self.right is None:
+            return None
+        return self.right - self.left
+
+    @property
+    def relative_delta(self) -> Optional[float]:
+        if self.left is None or self.right is None or self.left == 0:
+            return None
+        return (self.right - self.left) / abs(self.left)
+
+    @property
+    def within_tolerance(self) -> bool:
+        if self.left is None or self.right is None:
+            return False
+        return self.tolerance.allows(self.left, self.right)
+
+
+@dataclass(frozen=True, slots=True)
+class DigestDiff:
+    """Structured outcome of diffing two digests."""
+
+    context: Dict[str, tuple]  # header field -> (left, right)
+    deltas: List[MetricDelta]
+
+    @property
+    def out_of_tolerance(self) -> List[MetricDelta]:
+        return [delta for delta in self.deltas if not delta.within_tolerance]
+
+    @property
+    def changed(self) -> List[MetricDelta]:
+        return [delta for delta in self.deltas if delta.delta not in (0.0, None)]
+
+
+def _metric_blocks(digest: Dict[str, object]):
+    """Yield (prefix, is_phase, metric_dict) blocks of one digest."""
+    for system in sorted(digest.get("systems", {})):
+        entry = digest["systems"][system]
+        yield f"{system}.metrics", False, entry.get("metrics", {})
+        for phase in sorted(entry.get("phases", {})):
+            yield f"{system}.phases.{phase}", True, entry["phases"][phase]
+
+
+def diff_digests(
+    left: Dict[str, object],
+    right: Dict[str, object],
+    exact: bool = False,
+) -> DigestDiff:
+    """Compare two metrics digests metric by metric.
+
+    ``exact`` replaces the golden tolerance bands with exact comparison —
+    useful when the two digests are supposed to be byte-identical (e.g. a
+    pure refactor on the same seed/scale).
+    """
+    context = {
+        field: (left.get(field), right.get(field))
+        for field in ("scenario", "seed", "scale")
+    }
+    left_blocks = dict(
+        (prefix, (phase, metrics)) for prefix, phase, metrics in _metric_blocks(left)
+    )
+    right_blocks = dict(
+        (prefix, (phase, metrics)) for prefix, phase, metrics in _metric_blocks(right)
+    )
+    deltas: List[MetricDelta] = []
+    for prefix in sorted(set(left_blocks) | set(right_blocks)):
+        phase, left_metrics = left_blocks.get(prefix, (False, {}))
+        phase_r, right_metrics = right_blocks.get(prefix, (phase, {}))
+        phase = phase or phase_r
+        for metric in sorted(set(left_metrics) | set(right_metrics)):
+            if exact:
+                tolerance = EXACT
+            elif metric.startswith("fraction_"):
+                tolerance = FRACTION_TOLERANCE
+            else:
+                tolerance = _tolerance_for(metric, phase=phase)
+            left_value = left_metrics.get(metric)
+            right_value = right_metrics.get(metric)
+            if metric.startswith("fraction_"):
+                # Fractions default to 0.0 when the outcome was never observed.
+                left_value = 0.0 if left_value is None else left_value
+                right_value = 0.0 if right_value is None else right_value
+            deltas.append(
+                MetricDelta(
+                    metric=f"{prefix}.{metric}",
+                    left=None if left_value is None else float(left_value),
+                    right=None if right_value is None else float(right_value),
+                    tolerance=tolerance,
+                )
+            )
+    return DigestDiff(context=context, deltas=deltas)
+
+
+def load_digest(path: Path) -> Dict[str, object]:
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(document, dict) or "systems" not in document:
+        raise ValueError(
+            f"{path} is not a scenario metrics digest (expected a JSON object "
+            "with a 'systems' key, as emitted by `repro scenarios run NAME`)"
+        )
+    return document
+
+
+def format_diff(diff: DigestDiff, all_rows: bool = False) -> str:
+    """Human-readable report; out-of-tolerance rows are flagged with ``!``."""
+    lines: List[str] = []
+    for field, (left, right) in diff.context.items():
+        marker = "" if left == right else "  (differs)"
+        lines.append(f"# {field}: {left!r} -> {right!r}{marker}")
+    rows = diff.deltas if all_rows else [
+        delta for delta in diff.deltas if delta.delta != 0.0
+    ]
+    if not rows:
+        lines.append("no metric differences")
+        return "\n".join(lines)
+    width = max(len(delta.metric) for delta in rows)
+    for delta in rows:
+        flag = " " if delta.within_tolerance else "!"
+        left = "missing" if delta.left is None else f"{delta.left:.6g}"
+        right = "missing" if delta.right is None else f"{delta.right:.6g}"
+        if delta.delta is None:
+            change = ""
+        else:
+            change = f"  delta {delta.delta:+.6g}"
+            if delta.relative_delta is not None:
+                change += f" ({delta.relative_delta:+.2%})"
+        tolerance = delta.tolerance
+        band = (
+            " [exact]"
+            if tolerance.relative == 0.0 and tolerance.absolute == 0.0
+            else f" [tol rel={tolerance.relative:g} abs={tolerance.absolute:g}]"
+        )
+        lines.append(f"{flag} {delta.metric:<{width}}  {left} -> {right}{change}{band}")
+    return "\n".join(lines)

@@ -13,11 +13,11 @@ Use :func:`get_scenario` / :func:`scenario_names` to consume the library and
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
 
 from repro.core.config import HOUR, MINUTE
 from repro.experiments.driver import ExperimentSetup
-from repro.scenarios.spec import ChurnProfile, ScenarioSpec
+from repro.scenarios.spec import KNOWN_TIERS, ChurnProfile, ScenarioSpec
 
 _REGISTRY: Dict[str, ScenarioSpec] = {}
 
@@ -43,12 +43,23 @@ def get_scenario(name: str) -> ScenarioSpec:
         raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}") from None
 
 
-def scenario_names() -> List[str]:
-    return sorted(_REGISTRY)
+def scenario_names(tier: Optional[str] = None) -> List[str]:
+    """Registered scenario names, optionally restricted to one tier.
+
+    ``tier=None`` returns the whole library.  Batch consumers that *run*
+    scenarios (the per-PR golden gate, ``scenarios run --all``) restrict
+    themselves to the "standard" tier, so the minutes-long "paper-scale"
+    tier only runs when asked for explicitly (nightly CI, ``--tier``).
+    """
+    if tier is None:
+        return sorted(_REGISTRY)
+    if tier not in KNOWN_TIERS:
+        raise ValueError(f"unknown tier {tier!r}; expected one of {KNOWN_TIERS}")
+    return sorted(name for name, spec in _REGISTRY.items() if spec.tier == tier)
 
 
-def iter_scenarios() -> Iterator[ScenarioSpec]:
-    for name in scenario_names():
+def iter_scenarios(tier: Optional[str] = None) -> Iterator[ScenarioSpec]:
+    for name in scenario_names(tier):
         yield _REGISTRY[name]
 
 
@@ -169,6 +180,36 @@ register_scenario(
 )
 
 
+#: the genuine Table 1 configuration (5000 hosts, 24 simulated hours) as a
+#: first-class scenario of the nightly "paper-scale" tier.  It pins the
+#: memory-lean run modes — calendar event queue and compact metric
+#: reservoirs — whose results are byte-identical to the defaults; its golden
+#: is committed at scale 1.0 and checked by the nightly job (see
+#: docs/performance.md for the wall/RSS budget).
+PAPER_DEFAULT_FULL_SCALE = register_scenario(
+    ScenarioSpec(
+        name="paper-default-full-scale",
+        description=(
+            "The genuine Table 1 configuration: 5000 hosts, 6 localities, "
+            "100 websites, 24 simulated hours at 6 queries/s — the "
+            "paper-scale perf tier."
+        ),
+        num_hosts=5000,
+        num_localities=6,
+        num_websites=100,
+        active_websites=6,
+        objects_per_website=500,
+        max_content_overlay_size=100,
+        query_rate_per_s=6.0,
+        duration_s=24 * HOUR,
+        metrics_window_s=HOUR,
+        tier="paper-scale",
+        queue_backend="calendar",
+        compact_metrics=True,
+    )
+)
+
+
 def paper_default_full_scale(seed: int = 42) -> ExperimentSetup:
     """The genuine Table 1 setup (24 h, 5000 hosts) for paper-scale runs."""
-    return ExperimentSetup.paper_scale(seed=seed)
+    return PAPER_DEFAULT_FULL_SCALE.to_setup(seed=seed)

@@ -29,6 +29,11 @@ from repro.workload.generator import WorkloadConfig
 
 #: system identifiers a scenario may ask to run
 KNOWN_SYSTEMS = ("flower", "squirrel")
+#: scenario tiers: "standard" runs in the per-PR golden/CI gate, "paper-scale"
+#: is the nightly tier (full Table 1 scale, minutes per run)
+KNOWN_TIERS = ("standard", "paper-scale")
+#: event-queue backends a scenario may pin (see repro.sim.engine)
+KNOWN_QUEUE_BACKENDS = ("heap", "calendar")
 
 
 @dataclass(frozen=True)
@@ -114,12 +119,27 @@ class ScenarioSpec:
     systems: Tuple[str, ...] = ("flower",)
     #: fraction of the run treated as warm-up when splitting phase metrics
     warmup_fraction: float = 0.5
+    #: which golden/CI tier the scenario belongs to ("standard" | "paper-scale")
+    tier: str = "standard"
+    #: event-queue backend the scenario's simulators use ("heap" | "calendar");
+    #: both are byte-identical, the choice is purely a performance matter
+    queue_backend: str = "heap"
+    #: fold metrics into compact array reservoirs instead of retaining
+    #: per-query records (the paper-scale memory mode)
+    compact_metrics: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("scenario name must be non-empty")
         if not self.systems:
             raise ValueError("a scenario must run at least one system")
+        if self.tier not in KNOWN_TIERS:
+            raise ValueError(f"unknown tier {self.tier!r}; expected one of {KNOWN_TIERS}")
+        if self.queue_backend not in KNOWN_QUEUE_BACKENDS:
+            raise ValueError(
+                f"unknown queue backend {self.queue_backend!r}; "
+                f"expected one of {KNOWN_QUEUE_BACKENDS}"
+            )
         for system in self.systems:
             if system not in KNOWN_SYSTEMS:
                 raise ValueError(
@@ -212,6 +232,8 @@ class ScenarioSpec:
             ),
             squirrel=SquirrelConfig(metrics_window_s=flower.metrics_window_s),
             seed=self.seed if seed is None else seed,
+            queue_backend=self.queue_backend,
+            compact_metrics=self.compact_metrics,
         )
 
     # -- derivation --------------------------------------------------------

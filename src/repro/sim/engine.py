@@ -12,10 +12,17 @@ latencies supplied by the network layer.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Any, Callable, Optional
 
+from repro.sim.calendar import CalendarEventQueue
 from repro.sim.events import Event, EventQueue
 from repro.sim.rng import RandomStreams
+
+#: queue backends selectable per run
+QUEUE_BACKENDS = ("heap", "calendar")
+#: events scheduled per trace-feeder chunk (see Simulator.schedule_trace)
+TRACE_CHUNK_SIZE = 1 << 14
 
 
 class SimulationError(RuntimeError):
@@ -29,16 +36,35 @@ class Simulator:
         seed: master seed for all random streams.
         end_time: optional absolute time after which :meth:`run` stops even if
             events remain; events scheduled past ``end_time`` are not fired.
+        queue_backend: ``"heap"`` (tuple-heap queue, the default — best for
+            sparse or irregular schedules) or ``"calendar"`` (bucketed
+            calendar queue — best for dense, near-uniform schedules such as
+            paper-scale trace replay).  Both produce byte-identical runs; see
+            ``docs/performance.md`` for the selection heuristic.
     """
 
-    def __init__(self, seed: int = 42, end_time: Optional[float] = None) -> None:
-        self._queue = EventQueue()
+    def __init__(
+        self,
+        seed: int = 42,
+        end_time: Optional[float] = None,
+        queue_backend: str = "heap",
+    ) -> None:
+        if queue_backend not in QUEUE_BACKENDS:
+            raise SimulationError(
+                f"unknown queue backend {queue_backend!r}; expected one of {QUEUE_BACKENDS}"
+            )
+        self._queue = EventQueue() if queue_backend == "heap" else CalendarEventQueue()
+        self._queue_backend = queue_backend
         self._now = 0.0
         self._end_time = end_time
         self._running = False
         self._stopped = False
         self._events_fired = 0
         self.streams = RandomStreams(seed)
+
+    @property
+    def queue_backend(self) -> str:
+        return self._queue_backend
 
     # -- clock -------------------------------------------------------------
 
@@ -92,6 +118,49 @@ class Simulator:
             pairs.append((time, callback))
         return self._queue.extend(pairs, label=label)
 
+    def schedule_trace(
+        self,
+        times,
+        callback: Callable[[], Any],
+        label: str = "trace",
+        chunk_size: int = TRACE_CHUNK_SIZE,
+    ) -> None:
+        """Schedule a long, time-ordered series of calls to one ``callback``.
+
+        ``times`` must be non-decreasing (a pre-sorted trace).  The series is
+        fed to the queue in chunks: each chunk is bulk-scheduled with pooled
+        fire-and-forget handles, and a feeder event at the chunk's last
+        timestamp pulls the next chunk.  Peak live Event handles for the trace
+        therefore stay bounded by ``chunk_size`` (plus the pool), independent
+        of trace length — the memory-lean counterpart of :meth:`schedule_batch`
+        for workloads where no per-event handle is ever needed.
+
+        ``callback`` is invoked once per timestamp with no arguments; callers
+        that need per-event payloads close over their own cursor (the events
+        fire in exactly the order of ``times``).
+        """
+        if chunk_size <= 0:
+            raise SimulationError(f"chunk_size must be positive, got {chunk_size}")
+        iterator = iter(times)
+        queue = self._queue
+
+        def feed() -> None:
+            batch = list(islice(iterator, chunk_size))
+            if not batch:
+                return
+            if batch[0] < self._now:
+                raise SimulationError(
+                    f"trace time {batch[0]:.6f} precedes the clock ({self._now:.6f})"
+                )
+            queue.extend_transient(batch, callback, label=label)
+            if len(batch) == chunk_size:
+                # The feeder runs after every event of its own chunk (same
+                # timestamp, later sequence number), so the next chunk is
+                # scheduled before any later event fires.
+                queue.push(batch[-1], feed, label=label + ":feeder")
+
+        feed()
+
     def cancel(self, event: Event) -> None:
         self._queue.cancel(event)
 
@@ -127,6 +196,8 @@ class Simulator:
         self._now = event.time
         self._events_fired += 1
         event.callback()
+        if event.poolable:
+            self._queue.recycle(event)
         return True
 
     def run(self, until: Optional[float] = None) -> float:
@@ -151,6 +222,7 @@ class Simulator:
         # order, and pop_before has filtered the horizon).
         queue = self._queue
         pop_before = queue.pop_before
+        recycle = queue.recycle
         try:
             while not self._stopped:
                 event = pop_before(horizon)
@@ -164,6 +236,8 @@ class Simulator:
                 # reading `events_fired` mid-run observe the live count.
                 self._events_fired += 1
                 event.callback()
+                if event.poolable:
+                    recycle(event)
         finally:
             self._running = False
         if horizon is not None and self._now < horizon and not self._stopped and not self._queue:
@@ -199,6 +273,8 @@ class Simulator:
 
 class PeriodicHandle:
     """Handle for a repeating callback created by :meth:`Simulator.call_every`."""
+
+    __slots__ = ("_sim", "_period", "_callback", "_label", "_event", "_cancelled", "fired")
 
     def __init__(
         self, sim: Simulator, period: float, callback: Callable[[], Any], label: str = ""

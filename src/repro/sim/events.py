@@ -33,6 +33,9 @@ from typing import Any, Callable, Optional
 _COMPACT_MIN_DEAD = 64
 #: ... and triggered when the dead entries outnumber the live ones.
 _COMPACT_DEAD_FRACTION = 0.5
+#: upper bound on the freelist of recycled transient event handles; equal to
+#: the trace-feeder chunk size so a chunked replay reuses one chunk's handles
+_POOL_MAX = 1 << 14
 
 
 class Event:
@@ -46,9 +49,12 @@ class Event:
         cancelled: events may be cancelled in place instead of being removed
             from the heap (lazy deletion).
         label: free-form tag used in diagnostics and tests.
+        poolable: True for fire-and-forget handles created by
+            ``extend_transient`` — no external reference exists, so the engine
+            returns them to the queue's freelist right after they fire.
     """
 
-    __slots__ = ("time", "sequence", "callback", "cancelled", "label")
+    __slots__ = ("time", "sequence", "callback", "cancelled", "label", "poolable")
 
     def __init__(
         self,
@@ -57,12 +63,14 @@ class Event:
         callback: Callable[[], Any],
         cancelled: bool = False,
         label: str = "",
+        poolable: bool = False,
     ) -> None:
         self.time = time
         self.sequence = sequence
         self.callback = callback
         self.cancelled = cancelled
         self.label = label
+        self.poolable = poolable
 
     # Ordering mirrors the original dataclass(order=True) semantics: only
     # (time, sequence) participate; callback/cancelled/label are ignored.
@@ -102,13 +110,15 @@ class Event:
 class EventQueue:
     """Priority queue of :class:`Event` objects with lazy cancellation."""
 
-    __slots__ = ("_heap", "_next_sequence", "_live", "_dead")
+    __slots__ = ("_heap", "_next_sequence", "_live", "_dead", "_pool")
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Event]] = []
         self._next_sequence = 0
         self._live = 0
         self._dead = 0
+        #: freelist of recycled transient Event handles (see extend_transient)
+        self._pool: list[Event] = []
 
     def __len__(self) -> int:
         return self._live
@@ -159,6 +169,51 @@ class EventQueue:
         heapq.heapify(heap)
         self._live += len(entries)
         return [entry[2] for entry in entries]
+
+    def extend_transient(self, times, callback: Callable[[], Any], label: str = "") -> int:
+        """Bulk-schedule pooled fire-and-forget events sharing one ``callback``.
+
+        Unlike :meth:`extend` no handles are returned: the events are marked
+        poolable, so the engine recycles each handle into the queue's freelist
+        the moment it has fired, and subsequent chunks of a long trace reuse
+        the same bounded set of Event objects.  Returns the number scheduled.
+        """
+        entries: list[tuple[float, int, Event]] = []
+        sequence = self._next_sequence
+        pool = self._pool
+        for time in times:
+            if time < 0:
+                raise ValueError(f"event time must be non-negative, got {time}")
+            if pool:
+                event = pool.pop()
+                event.time = time
+                event.sequence = sequence
+                event.callback = callback
+                event.cancelled = False
+                event.label = label
+                event.poolable = True
+            else:
+                event = Event(time, sequence, callback, False, label, True)
+            entries.append((time, sequence, event))
+            sequence += 1
+        self._next_sequence = sequence
+        heap = self._heap
+        heap.extend(entries)
+        heapq.heapify(heap)
+        self._live += len(entries)
+        return len(entries)
+
+    def recycle(self, event: Event) -> None:
+        """Return a fired transient handle to the freelist."""
+        pool = self._pool
+        if len(pool) < _POOL_MAX:
+            event.callback = None
+            pool.append(event)
+
+    @property
+    def pool_size(self) -> int:
+        """Recycled transient handles awaiting reuse (diagnostic)."""
+        return len(self._pool)
 
     def reschedule(self, event: Event, time: float) -> Event:
         """Re-arm a previously *popped* event handle at a new time.

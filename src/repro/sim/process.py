@@ -17,6 +17,8 @@ from repro.sim.engine import PeriodicHandle, Simulator
 class PeriodicProcess:
     """A named periodic activity that can be started, stopped and restarted."""
 
+    __slots__ = ("_sim", "_period", "_callback", "_name", "_jitter_stream", "_handle")
+
     def __init__(
         self,
         sim: Simulator,

@@ -13,6 +13,7 @@ which is what the comparative figures require.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -21,9 +22,16 @@ from repro.sim.rng import RandomStreams
 from repro.workload.generator import Query
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class ResolvedQuery:
-    """A query bound to a concrete originating host."""
+    """A query bound to a concrete originating host.
+
+    Constructed transiently once per dispatched event on the array fast
+    path.  Deliberately *not* frozen — a frozen ``__init__`` routes every
+    field through ``object.__setattr__``, a measurable dispatch-phase cost;
+    ``unsafe_hash`` keeps value-object hashing.  Treat instances as
+    immutable.
+    """
 
     query_id: int
     time: float
@@ -137,3 +145,66 @@ class ClientAssigner:
             if bound is not None:
                 resolved.append(bound)
         return resolved
+
+    def assign_trace(self, trace):
+        """Array-path :meth:`assign_all`: columns in, columns out.
+
+        Consumes a :class:`~repro.workload.trace.QueryTraceArrays` and returns
+        a :class:`~repro.workload.trace.ResolvedTraceArrays` whose
+        materialised queries — and the post-call state of the assignment
+        streams — are bit-identical to running :meth:`assign` per query.
+        """
+        from repro.workload.trace import ResolvedTraceArrays
+
+        query_id = array("L")
+        times = array("d")
+        website_index = array("H")
+        object_rank = array("I")
+        locality = array("H")
+        client_host = array("l")
+        is_new = array("b")
+
+        websites = trace.websites
+        first_query_id = trace.first_query_id
+        clients = self._clients
+        max_clients = self._max_clients
+        existing_choice = self._streams.stream("assign:existing").choice
+        for index in range(len(trace)):
+            w = trace.website_index[index]
+            loc = trace.locality[index]
+            website_name = websites[w].name
+            key = (website_name, loc)
+            existing = clients.get(key, [])
+            candidates = self._candidates(website_name, loc)
+
+            wants_new = trace.prefers_new[index] or not existing
+            can_add_new = bool(candidates) and len(existing) < max_clients
+
+            if wants_new and can_add_new:
+                host = candidates.pop()
+                clients.setdefault(key, []).append(host)
+                new_client = True
+            elif existing:
+                host = existing_choice(existing)
+                new_client = False
+            else:
+                continue  # degenerate: empty locality — drop the query
+
+            query_id.append(first_query_id + index)
+            times.append(trace.times[index])
+            website_index.append(w)
+            object_rank.append(trace.object_rank[index])
+            locality.append(loc)
+            client_host.append(host)
+            is_new.append(new_client)
+
+        return ResolvedTraceArrays(
+            websites=websites,
+            query_id=query_id,
+            times=times,
+            website_index=website_index,
+            object_rank=object_rank,
+            locality=locality,
+            client_host=client_host,
+            is_new=is_new,
+        )

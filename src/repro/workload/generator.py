@@ -14,6 +14,7 @@ Reproduces the paper's workload model (Section 6.1):
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence
 
@@ -55,9 +56,16 @@ class WorkloadConfig:
             raise ValueError("locality_weights must have num_localities entries")
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Query:
-    """One client query for an object of a website."""
+    """One client query for an object of a website.
+
+    Constructed once per generated query.  Deliberately *not* frozen: a
+    frozen dataclass's ``__init__`` routes every field through
+    ``object.__setattr__``, which is several times slower — measurable at
+    paper-scale trace volumes.  ``unsafe_hash`` keeps the value-object
+    hashing the frozen variant provided; treat instances as immutable.
+    """
 
     query_id: int
     time: float
@@ -183,6 +191,94 @@ class QueryGenerator:
                 return
             clock = query.time
             yield query
+
+    def generate_trace(self, duration_s: float, start_time: float = 0.0):
+        """Vectorised :meth:`generate`: the whole workload as array columns.
+
+        Produces a :class:`~repro.workload.trace.QueryTraceArrays` whose
+        materialised queries — and the post-call state of every random
+        stream — are **bit-identical** to iterating :meth:`generate`.  The
+        five per-query draws are batched per stream instead of interleaved
+        per query, which is legal because the named streams are independent
+        ``random.Random`` instances: batching reorders draws *across* streams
+        but never within one.  Like :meth:`generate`, the draw that first
+        crosses the horizon is consumed (one extra draw per stream).
+        """
+        from repro.workload.trace import QueryTraceArrays
+
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        cfg = self._config
+        end = start_time + duration_s
+        first_query_id = self._next_id
+
+        # 1. Arrival stream: cumulative inter-arrival sums up to the horizon.
+        times = array("d")
+        clock = start_time
+        if cfg.arrival_process == "poisson":
+            expovariate = self._arrival_rng.expovariate
+            rate = cfg.query_rate_per_s
+            while True:
+                clock += expovariate(rate)
+                if clock >= end:
+                    break
+                times.append(clock)
+        else:
+            step = 1.0 / cfg.query_rate_per_s
+            while True:
+                clock += step
+                if clock >= end:
+                    break
+                times.append(clock)
+        count = len(times) + 1  # the crossing query consumed draws too
+
+        # 2. Website stream: random.choice over indices consumes the same
+        #    underlying _randbelow draw as choice over the Website list.
+        website_choice = self._website_rng.choice
+        indices = range(len(self._active))
+        website_index = array("H", (website_choice(indices) for _ in range(count)))
+
+        # 3. Zipf stream: one rank per query.  All synthetic websites share
+        #    one population size, so a single sampler reproduces the per-site
+        #    draw mapping; unequal catalogues fall back to per-query samplers.
+        populations = {site.num_objects for site in self._active}
+        if len(populations) == 1:
+            sampler = self._samplers[self._active[0].name]
+            object_rank = array("I", sampler.sample_many(self._zipf_rng, count))
+        else:
+            zipf_rng = self._zipf_rng
+            object_rank = array(
+                "I",
+                (
+                    self._samplers[self._active[w].name].sample(zipf_rng)
+                    for w in website_index
+                ),
+            )
+
+        # 4. Locality stream.
+        if cfg.locality_weights:
+            locality = array("H", (self._pick_locality() for _ in range(count)))
+        else:
+            randint = self._locality_rng.randint
+            top = cfg.num_localities - 1
+            locality = array("H", (randint(0, top) for _ in range(count)))
+
+        # 5. Originator stream.
+        originator = self._originator_rng.random
+        bias = cfg.new_client_bias
+        prefers_new = array("b", (originator() < bias for _ in range(count)))
+
+        self._next_id += count
+        n = len(times)
+        return QueryTraceArrays(
+            websites=tuple(self._active),
+            first_query_id=first_query_id,
+            times=times,
+            website_index=website_index[:n],
+            object_rank=object_rank[:n],
+            locality=locality[:n],
+            prefers_new=prefers_new[:n],
+        )
 
     def generate_batch(self, count: int, start_time: float = 0.0) -> List[Query]:
         """Generate exactly ``count`` queries (used by benchmarks with fixed work)."""

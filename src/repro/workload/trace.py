@@ -5,15 +5,27 @@ must feed *exactly the same* query stream to both.  A :class:`QueryTrace`
 materialises a generated workload so it can be replayed, saved to disk as
 JSON lines and reloaded — useful both for apples-to-apples comparisons and
 for regression-testing experiment results.
+
+For paper-scale runs the object representations above are too heavy: half a
+million :class:`Query`/:class:`ResolvedQuery` instances cost hundreds of
+megabytes.  :class:`QueryTraceArrays` and :class:`ResolvedTraceArrays` hold
+the same information as parallel ``array`` columns (a few bytes per query)
+and materialise individual query objects only on demand — one transient
+object per dispatched event instead of a resident list.  They are produced
+by :meth:`repro.workload.generator.QueryGenerator.generate_trace` and
+:meth:`repro.workload.assignment.ClientAssigner.assign_trace`, whose draw
+sequences are bit-identical to the object-path equivalents.
 """
 
 from __future__ import annotations
 
 import json
+from array import array
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, List, Sequence
+from typing import Callable, Iterable, Iterator, List, Sequence, Tuple
 
+from repro.workload.catalog import Website
 from repro.workload.generator import Query, QueryGenerator
 
 
@@ -119,3 +131,190 @@ class QueryTrace:
                     continue
                 records.append(TraceRecord(**json.loads(line)))
         return cls(records)
+
+
+# -- array-backed traces (paper-scale fast path) -----------------------------
+
+
+class QueryTraceArrays:
+    """A generated workload held as parallel array columns.
+
+    Column-for-column equivalent to the :class:`Query` stream produced by
+    :meth:`QueryGenerator.generate` — ``query(i)`` materialises the identical
+    object — but ~20 bytes per query instead of several hundred.
+    """
+
+    __slots__ = (
+        "websites",
+        "first_query_id",
+        "times",
+        "website_index",
+        "object_rank",
+        "locality",
+        "prefers_new",
+    )
+
+    def __init__(
+        self,
+        websites: Tuple[Website, ...],
+        first_query_id: int,
+        times: array,
+        website_index: array,
+        object_rank: array,
+        locality: array,
+        prefers_new: array,
+    ) -> None:
+        self.websites = websites
+        self.first_query_id = first_query_id
+        self.times = times
+        self.website_index = website_index
+        self.object_rank = object_rank
+        self.locality = locality
+        self.prefers_new = prefers_new
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the columns (diagnostic)."""
+        return sum(
+            column.itemsize * len(column)
+            for column in (
+                self.times,
+                self.website_index,
+                self.object_rank,
+                self.locality,
+                self.prefers_new,
+            )
+        )
+
+    def query(self, index: int) -> Query:
+        """Materialise the ``index``-th query (identical to the object path)."""
+        website = self.websites[self.website_index[index]]
+        return Query(
+            query_id=self.first_query_id + index,
+            time=self.times[index],
+            website=website.name,
+            object_id=website.object_id(self.object_rank[index]),
+            locality=self.locality[index],
+            prefers_new_client=bool(self.prefers_new[index]),
+        )
+
+    def iter_queries(self) -> Iterator[Query]:
+        for index in range(len(self)):
+            yield self.query(index)
+
+
+class ResolvedTraceArrays:
+    """A client-assigned workload held as parallel array columns.
+
+    The array counterpart of a ``List[ResolvedQuery]``; built by
+    :meth:`repro.workload.assignment.ClientAssigner.assign_trace`.
+    """
+
+    __slots__ = (
+        "websites",
+        "query_id",
+        "times",
+        "website_index",
+        "object_rank",
+        "locality",
+        "client_host",
+        "is_new",
+    )
+
+    def __init__(
+        self,
+        websites: Tuple[Website, ...],
+        query_id: array,
+        times: array,
+        website_index: array,
+        object_rank: array,
+        locality: array,
+        client_host: array,
+        is_new: array,
+    ) -> None:
+        self.websites = websites
+        self.query_id = query_id
+        self.times = times
+        self.website_index = website_index
+        self.object_rank = object_rank
+        self.locality = locality
+        self.client_host = client_host
+        self.is_new = is_new
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the columns (diagnostic)."""
+        return sum(
+            column.itemsize * len(column)
+            for column in (
+                self.query_id,
+                self.times,
+                self.website_index,
+                self.object_rank,
+                self.locality,
+                self.client_host,
+                self.is_new,
+            )
+        )
+
+    def resolved_query(self, index: int):
+        """Materialise the ``index``-th resolved query on demand."""
+        from repro.workload.assignment import ResolvedQuery
+
+        website = self.websites[self.website_index[index]]
+        return ResolvedQuery(
+            query_id=self.query_id[index],
+            time=self.times[index],
+            website=website.name,
+            object_id=website.object_id(self.object_rank[index]),
+            locality=self.locality[index],
+            client_host=self.client_host[index],
+            is_new_client=bool(self.is_new[index]),
+        )
+
+    def iter_queries(self) -> Iterator:
+        for index in range(len(self)):
+            yield self.resolved_query(index)
+
+    def dispatcher(self, handle: Callable) -> Callable[[], None]:
+        """A zero-argument callback for :meth:`Simulator.schedule_trace`.
+
+        Each invocation materialises the next resolved query (in trace order)
+        and passes it to ``handle`` — one transient object per event, no
+        resident per-query closures or partials.
+        """
+        cursor = 0
+        websites = self.websites
+        query_ids = self.query_id
+        times = self.times
+        website_index = self.website_index
+        object_ranks = self.object_rank
+        localities = self.locality
+        client_hosts = self.client_host
+        is_new = self.is_new
+        from repro.workload.assignment import ResolvedQuery
+
+        def fire() -> None:
+            nonlocal cursor
+            index = cursor
+            cursor = index + 1
+            website = websites[website_index[index]]
+            handle(
+                ResolvedQuery(
+                    query_id=query_ids[index],
+                    time=times[index],
+                    website=website.name,
+                    object_id=website.object_id(object_ranks[index]),
+                    locality=localities[index],
+                    client_host=client_hosts[index],
+                    is_new_client=bool(is_new[index]),
+                )
+            )
+
+        return fire

@@ -240,3 +240,88 @@ class TestReportFormatting:
         text = format_series("curve", [(0.0, 1.0), (10.0, 2.0)])
         assert "curve" in text
         assert "10" in text
+
+
+class TestCompactMetricsCollector:
+    """retain_records=False: identical aggregates, bounded memory."""
+
+    def _fill(self, collector, count=9000):
+        import random
+        rng = random.Random(4)
+        outcomes = list(QueryOutcome)
+        for i in range(count):
+            collector.record(
+                make_record(
+                    query_id=i,
+                    time=rng.uniform(0, 7200),
+                    outcome=outcomes[i % len(outcomes)],
+                    latency=rng.uniform(0, 900),
+                    distance=rng.uniform(0, 500),
+                    hops=i % 4,
+                    failures=i % 3,
+                )
+            )
+
+    def test_aggregates_identical_to_retained_mode(self):
+        retained = MetricsCollector(window_s=600.0)
+        compact = MetricsCollector(window_s=600.0, retain_records=False)
+        self._fill(retained)
+        self._fill(compact)
+        assert compact.num_queries == retained.num_queries
+        assert compact.hit_ratio == retained.hit_ratio
+        assert compact.average_lookup_latency_ms == retained.average_lookup_latency_ms
+        assert compact.average_transfer_distance_ms == retained.average_transfer_distance_ms
+        assert compact.average_overlay_hops == retained.average_overlay_hops
+        assert compact.redirection_failures == retained.redirection_failures
+        assert compact.outcome_counts() == retained.outcome_counts()
+        assert compact.outcome_fractions() == retained.outcome_fractions()
+        assert (
+            compact.hit_ratio_series.window_means()
+            == retained.hit_ratio_series.window_means()
+        )
+        assert (
+            compact.lookup_latency_series.window_means()
+            == retained.lookup_latency_series.window_means()
+        )
+
+    def test_interleaved_reads_do_not_change_aggregates(self):
+        retained = MetricsCollector(window_s=600.0)
+        compact = MetricsCollector(window_s=600.0, retain_records=False)
+        for i in range(5000):
+            record = make_record(query_id=i, time=float(i), latency=float(i % 100))
+            retained.record(record)
+            compact.record(record)
+            if i % 777 == 0:
+                compact.hit_ratio  # interleaved read forces an early fold
+        assert compact.hit_ratio == retained.hit_ratio
+        assert compact.num_queries == retained.num_queries
+
+    def test_compact_buffer_stays_bounded(self):
+        from repro.metrics.collectors import PENDING_FLUSH_THRESHOLD
+
+        compact = MetricsCollector(window_s=600.0, retain_records=False)
+        self._fill(compact, count=3 * PENDING_FLUSH_THRESHOLD)
+        assert len(compact._records) < PENDING_FLUSH_THRESHOLD
+
+    def test_records_unavailable_in_compact_mode(self):
+        compact = MetricsCollector(retain_records=False)
+        compact.record(make_record())
+        with pytest.raises(RuntimeError, match="compact"):
+            compact.records
+
+    def test_retained_mode_still_exposes_records(self):
+        retained = MetricsCollector()
+        retained.record(make_record())
+        assert retained.retains_records
+        assert len(retained.records) == 1
+
+
+class TestBandwidthPendingFlush:
+    def test_pending_buffer_stays_bounded(self):
+        from repro.metrics.collectors import PENDING_FLUSH_THRESHOLD
+
+        accountant = BandwidthAccountant(window_s=600.0)
+        for i in range(3 * PENDING_FLUSH_THRESHOLD):
+            accountant.record_message(float(i % 1000), f"p{i % 7}", f"p{(i + 1) % 7}", 100, "gossip")
+        assert len(accountant._pending) < PENDING_FLUSH_THRESHOLD
+        assert accountant.total_bytes == 3 * PENDING_FLUSH_THRESHOLD * 200

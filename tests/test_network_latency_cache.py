@@ -123,3 +123,77 @@ class TestIntraLocalityEstimate:
         small = topology.average_intra_locality_latency(0, sample=50)
         large = topology.average_intra_locality_latency(0, sample=400)
         assert small > 0 and large > 0
+
+
+class TestCacheBackends:
+    """The dense-triangular / bounded-LRU backend split (paper-scale memory)."""
+
+    def test_small_topology_uses_dense_backend(self, topology):
+        assert topology.latency_cache_info()["backend"] == "dense"
+
+    def test_huge_pair_matrix_uses_lru_backend(self):
+        # 5000 hosts -> ~12.5M pairs > the 1M default bound.
+        topology = Topology(
+            TopologyConfig(num_hosts=100, num_localities=2),
+            RandomStreams(5),
+            latency_cache_size=100,
+        )
+        assert topology.latency_cache_info()["backend"] == "lru"
+
+    def test_backends_return_identical_values(self):
+        config = TopologyConfig(num_hosts=150, num_localities=3)
+        dense = Topology(config, RandomStreams(13))
+        lru = Topology(config, RandomStreams(13), latency_cache_size=50)
+        assert dense.latency_cache_info()["backend"] == "dense"
+        assert lru.latency_cache_info()["backend"] == "lru"
+        for a in range(0, 150, 7):
+            for b in range(1, 150, 13):
+                if a != b:
+                    assert dense.latency_ms(a, b) == lru.latency_ms(a, b)
+
+    def test_lru_eviction_prefers_recently_used_pairs(self):
+        topology = Topology(
+            TopologyConfig(num_hosts=100, num_localities=2),
+            RandomStreams(5),
+            latency_cache_size=3,
+        )
+        for b in (1, 2, 3):
+            topology.latency_ms(0, b)
+        topology.latency_ms(0, 1)  # refresh pair (0, 1)
+        topology.latency_ms(0, 4)  # evicts the least recently used: (0, 2)
+        before = topology.latency_cache_info()
+        topology.latency_ms(0, 1)  # must still be cached
+        assert topology.latency_cache_info()["hits"] == before["hits"] + 1
+        topology.latency_ms(0, 2)  # was evicted: recomputes
+        assert topology.latency_cache_info()["misses"] == before["misses"] + 1
+
+    def test_lru_size_never_exceeds_the_bound(self):
+        """Regression: the memo must stay bounded however many pairs are hit."""
+        bound = 16
+        topology = Topology(
+            TopologyConfig(num_hosts=200, num_localities=2),
+            RandomStreams(5),
+            latency_cache_size=bound,
+        )
+        for a in range(0, 200, 3):
+            for b in range(1, 200, 7):
+                if a != b:
+                    topology.latency_ms(a, b)
+        info = topology.latency_cache_info()
+        assert info["size"] <= bound
+        assert info["capacity"] == bound
+        assert topology.latency_cache_nbytes() <= 100 * bound
+
+    def test_dense_backend_is_byte_bounded(self, topology):
+        pairs = topology.num_hosts * (topology.num_hosts - 1) // 2
+        # 8-byte slots for every possible pair (+ row offsets) plus one boxed
+        # float per computed pair.
+        computed = topology.latency_cache_info()["misses"]
+        assert topology.latency_cache_nbytes() == (
+            8 * (pairs + topology.num_hosts) + 24 * computed
+        )
+
+    def test_info_reports_capacity_and_backend(self, topology):
+        info = topology.latency_cache_info()
+        assert set(info) == {"hits", "misses", "size", "capacity", "backend"}
+        assert info["capacity"] == Topology.DEFAULT_LATENCY_CACHE_SIZE

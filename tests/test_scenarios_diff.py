@@ -1,0 +1,144 @@
+"""The `scenarios diff` digest-comparison tooling."""
+
+import io
+import json
+
+import pytest
+
+from repro import cli
+from repro.scenarios import diffing
+
+
+def _digest(hit_ratio=0.7, latency=150.0, queries=1000, scenario="paper-default"):
+    return {
+        "scenario": scenario,
+        "seed": 42,
+        "scale": 0.25,
+        "systems": {
+            "flower": {
+                "metrics": {
+                    "num_queries": queries,
+                    "hit_ratio": hit_ratio,
+                    "average_lookup_latency_ms": latency,
+                    "fraction_local_overlay_hit": hit_ratio,
+                },
+                "phases": {
+                    "steady": {"hit_ratio": hit_ratio},
+                    "warmup": {"hit_ratio": hit_ratio / 2},
+                },
+            }
+        },
+    }
+
+
+class TestDiffDigests:
+    def test_identical_digests_have_no_changes(self):
+        diff = diffing.diff_digests(_digest(), _digest())
+        assert diff.changed == []
+        assert diff.out_of_tolerance == []
+
+    def test_within_tolerance_change_is_reported_but_passes(self):
+        diff = diffing.diff_digests(_digest(hit_ratio=0.70), _digest(hit_ratio=0.71))
+        changed = [d.metric for d in diff.changed]
+        assert "flower.metrics.hit_ratio" in changed
+        assert all(d.within_tolerance for d in diff.changed if "hit_ratio" in d.metric)
+
+    def test_out_of_tolerance_change_is_flagged(self):
+        diff = diffing.diff_digests(_digest(hit_ratio=0.70), _digest(hit_ratio=0.40))
+        failing = [d.metric for d in diff.out_of_tolerance]
+        assert "flower.metrics.hit_ratio" in failing
+
+    def test_exact_mode_flags_any_change(self):
+        diff = diffing.diff_digests(
+            _digest(hit_ratio=0.70), _digest(hit_ratio=0.700001), exact=True
+        )
+        assert diff.out_of_tolerance
+
+    def test_deltas_carry_values_and_relative_change(self):
+        diff = diffing.diff_digests(_digest(latency=100.0), _digest(latency=110.0))
+        delta = next(d for d in diff.deltas if d.metric.endswith("lookup_latency_ms"))
+        assert delta.left == 100.0 and delta.right == 110.0
+        assert delta.delta == pytest.approx(10.0)
+        assert delta.relative_delta == pytest.approx(0.10)
+
+    def test_missing_fraction_compares_as_zero(self):
+        left = _digest()
+        right = _digest()
+        del right["systems"]["flower"]["metrics"]["fraction_local_overlay_hit"]
+        diff = diffing.diff_digests(left, right)
+        delta = next(d for d in diff.deltas if "fraction_local" in d.metric)
+        assert delta.right == 0.0
+        assert not delta.within_tolerance  # 0.7 -> 0.0 is far outside the band
+
+    def test_cross_scenario_context_is_reported_not_rejected(self):
+        diff = diffing.diff_digests(_digest(), _digest(scenario="flash-crowd"))
+        assert diff.context["scenario"] == ("paper-default", "flash-crowd")
+
+    def test_format_lists_only_changes_by_default(self):
+        text = diffing.format_diff(diffing.diff_digests(_digest(), _digest(hit_ratio=0.71)))
+        assert "hit_ratio" in text
+        assert "num_queries" not in text
+        full = diffing.format_diff(
+            diffing.diff_digests(_digest(), _digest(hit_ratio=0.71)), all_rows=True
+        )
+        assert "num_queries" in full
+
+
+class TestDiffCli:
+    def _write(self, path, digest):
+        path.write_text(json.dumps(digest), encoding="utf-8")
+        return str(path)
+
+    def test_within_tolerance_exits_zero(self, tmp_path):
+        left = self._write(tmp_path / "a.json", _digest())
+        right = self._write(tmp_path / "b.json", _digest(hit_ratio=0.705))
+        out = io.StringIO()
+        assert cli.main(["scenarios", "diff", left, right], out=out) == 0
+        assert "hit_ratio" in out.getvalue()
+
+    def test_out_of_tolerance_exits_one(self, tmp_path):
+        left = self._write(tmp_path / "a.json", _digest())
+        right = self._write(tmp_path / "b.json", _digest(hit_ratio=0.4))
+        out = io.StringIO()
+        assert cli.main(["scenarios", "diff", left, right], out=out) == 1
+        assert "!" in out.getvalue()
+
+    def test_exact_flag(self, tmp_path):
+        left = self._write(tmp_path / "a.json", _digest())
+        right = self._write(tmp_path / "b.json", _digest(hit_ratio=0.700001))
+        assert cli.main(["scenarios", "diff", left, right], out=io.StringIO()) == 0
+        assert (
+            cli.main(["scenarios", "diff", left, right, "--exact"], out=io.StringIO()) == 1
+        )
+
+    def test_missing_file_is_a_usage_error(self, tmp_path):
+        left = self._write(tmp_path / "a.json", _digest())
+        assert (
+            cli.main(["scenarios", "diff", left, str(tmp_path / "nope.json")],
+                     out=io.StringIO())
+            == 2
+        )
+
+    def test_non_digest_json_rejected(self, tmp_path):
+        left = self._write(tmp_path / "a.json", _digest())
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"not": "a digest"}), encoding="utf-8")
+        assert (
+            cli.main(["scenarios", "diff", left, str(bogus)], out=io.StringIO()) == 2
+        )
+
+    def test_diff_of_two_real_runs(self, tmp_path):
+        """End to end: run a scenario twice at different seeds and diff."""
+        a, b = io.StringIO(), io.StringIO()
+        assert cli.main(
+            ["scenarios", "run", "paper-default", "--scale", "0.1", "--seed", "42"], out=a
+        ) == 0
+        assert cli.main(
+            ["scenarios", "run", "paper-default", "--scale", "0.1", "--seed", "43"], out=b
+        ) == 0
+        left = self._write(tmp_path / "a.json", json.loads(a.getvalue()))
+        right = self._write(tmp_path / "b.json", json.loads(b.getvalue()))
+        out = io.StringIO()
+        code = cli.main(["scenarios", "diff", left, right], out=out)
+        assert code in (0, 1)  # different seeds legitimately differ
+        assert "num_queries" in out.getvalue() or "no metric differences" in out.getvalue()

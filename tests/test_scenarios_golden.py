@@ -34,10 +34,20 @@ def test_goldens_do_not_outlive_the_library():
     assert not stale, f"goldens without a library scenario: {sorted(stale)}"
 
 
-@pytest.mark.parametrize("name", sorted(scenario_names()))
+@pytest.mark.parametrize("name", sorted(scenario_names(tier="standard")))
 def test_scenario_matches_committed_golden(name):
+    # Standard tier only: paper-scale goldens take minutes per scenario and
+    # are verified by the nightly workflow (`... golden --tier paper-scale`).
     mismatches = golden.verify_golden(name, GOLDEN_DIR)
     assert not mismatches, "golden drift for {}:\n{}".format(name, "\n".join(mismatches))
+
+
+def test_paper_scale_tier_goldens_are_pinned_at_full_scale():
+    for name in scenario_names(tier="paper-scale"):
+        assert golden.golden_scale_for(name) == 1.0
+        committed = golden.load_golden(name, GOLDEN_DIR)
+        assert committed["scale"] == 1.0
+        assert committed["seed"] == golden.GOLDEN_SEED
 
 
 # -- unit tests of the comparison machinery ---------------------------------

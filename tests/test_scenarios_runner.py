@@ -229,3 +229,69 @@ class TestScenarioCli:
         setup = cli.setup_from_args(args)
         assert setup.flower.num_websites == 6
         assert setup.seed == 5
+
+
+class TestScenarioTiers:
+    def test_default_tier_is_standard(self):
+        assert get_scenario("paper-default").tier == "standard"
+
+    def test_full_scale_scenario_is_registered_in_the_paper_tier(self):
+        spec = get_scenario("paper-default-full-scale")
+        assert spec.tier == "paper-scale"
+        assert spec.num_hosts == 5000
+        assert spec.duration_s == 24 * 3600.0
+        assert spec.query_rate_per_s == 6.0
+        assert spec.num_websites == 100
+        assert spec.queue_backend == "calendar"
+        assert spec.compact_metrics
+
+    def test_tier_filtering(self):
+        standard = scenario_names(tier="standard")
+        paper = scenario_names(tier="paper-scale")
+        assert "paper-default" in standard
+        assert "paper-default-full-scale" not in standard
+        assert "paper-default-full-scale" in paper
+        assert sorted(standard + paper) == scenario_names()
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="unknown tier"):
+            scenario_names(tier="galactic")
+        with pytest.raises(ValueError, match="unknown tier"):
+            dataclasses.replace(get_scenario("paper-default"), tier="galactic")
+
+    def test_unknown_queue_backend_rejected(self):
+        with pytest.raises(ValueError, match="queue backend"):
+            dataclasses.replace(get_scenario("paper-default"), queue_backend="btree")
+
+    def test_full_scale_matches_the_legacy_paper_scale_setup(self):
+        """paper_default_full_scale() stays the Table 1 ExperimentSetup."""
+        from repro.experiments.driver import ExperimentSetup
+        from repro.scenarios.library import paper_default_full_scale
+
+        via_spec = paper_default_full_scale(seed=42)
+        legacy = ExperimentSetup.paper_scale(seed=42)
+        assert via_spec.flower == legacy.flower
+        assert via_spec.topology == legacy.topology
+        assert via_spec.workload == legacy.workload
+        assert via_spec.seed == legacy.seed
+
+    def test_run_all_defaults_exclude_the_paper_tier(self):
+        from repro.scenarios.parallel import resolve_names
+
+        names = resolve_names(None)
+        assert "paper-default-full-scale" not in names
+        assert "paper-default" in names
+        # Explicit naming still works.
+        assert resolve_names(["paper-default-full-scale"]) == ["paper-default-full-scale"]
+
+
+class TestBackendEquivalence:
+    def test_calendar_and_compact_modes_reproduce_the_heap_digest(self):
+        """The fast-path run modes are byte-identical, not merely close."""
+        spec = get_scenario("paper-default").scaled(TINY_SCALE)
+        baseline = ScenarioRunner(spec, seed=11).run().metrics_digest()
+        fast = ScenarioRunner(
+            dataclasses.replace(spec, queue_backend="calendar", compact_metrics=True),
+            seed=11,
+        ).run().metrics_digest()
+        assert fast == baseline
