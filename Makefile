@@ -7,7 +7,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test goldens check-goldens goldens-paper check-goldens-paper \
-        bench-smoke bench scenarios perf perf-check perf-baseline perf-paper
+        bench-smoke bench scenarios api-surface api-surface-update \
+        perf perf-check perf-baseline perf-paper
 
 ## tier-1 test suite (unit + property + scenario + golden tests + benchmarks)
 test:
@@ -33,6 +34,14 @@ bench:
 ## list the scenario library
 scenarios:
 	$(PYTHON) -m repro.cli scenarios list
+
+## verify the committed public-API snapshot (tests/api_surface.json)
+api-surface:
+	$(PYTHON) -m pytest tests/test_api_surface.py -q
+
+## refresh the API snapshot after an intentional public-API change
+api-surface-update:
+	$(PYTHON) tests/test_api_surface.py --update
 
 ## run the perf-benchmark suite; writes ./BENCH_core.json (see docs/performance.md)
 perf:

@@ -23,8 +23,9 @@ if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
 from repro.experiments.driver import ExperimentSetup  # noqa: E402
-from repro.scenarios.library import get_scenario, paper_default_full_scale  # noqa: E402
+from repro.scenarios.library import get_scenario  # noqa: E402
 from repro.scenarios.spec import ScenarioSpec  # noqa: E402
+from repro.session import Session  # noqa: E402
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:
@@ -50,10 +51,14 @@ def bench_scenario(request: pytest.FixtureRequest) -> ScenarioSpec:
 def bench_setup(
     request: pytest.FixtureRequest, bench_scenario: ScenarioSpec
 ) -> ExperimentSetup:
-    """The experiment configuration shared by all benchmark harnesses."""
+    """The experiment configuration shared by all benchmark harnesses.
+
+    Compiled through the :class:`~repro.session.Session` facade — the same
+    construction path the CLI, scenario runner and perf suite use.
+    """
     if request.config.getoption("--paper-scale"):
-        return paper_default_full_scale(seed=42)
-    return bench_scenario.to_setup()
+        return Session.from_name("paper-default-full-scale", seed=42).setup
+    return Session.from_spec(bench_scenario).setup
 
 
 @pytest.fixture

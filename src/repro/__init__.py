@@ -17,7 +17,15 @@ The package is organised bottom-up:
 * :mod:`repro.scenarios` — declarative named scenarios, the deterministic
   scenario runner and the golden-metrics regression facility.
 
-Quickstart::
+Quickstart (the :class:`~repro.session.Session` facade is the public entry
+point; see ``docs/api.md``)::
+
+    from repro import Session
+
+    result = Session.from_name("paper-default").run()
+    print(result.flower.metrics["hit_ratio"])
+
+The lower layers remain available for harnesses that need them::
 
     from repro import ExperimentSetup, ExperimentRunner
 
@@ -36,13 +44,16 @@ from repro.metrics.collectors import MetricsCollector, QueryOutcome, QueryRecord
 from repro.network.topology import Topology, TopologyConfig
 from repro.scenarios import (
     ChurnProfile,
+    ModelRef,
     ScenarioResult,
     ScenarioRunner,
     ScenarioSpec,
+    WorkloadPhase,
     get_scenario,
     run_scenario,
     scenario_names,
 )
+from repro.session import Session
 from repro.sim.engine import Simulator
 from repro.workload.generator import Query, QueryGenerator, WorkloadConfig
 
@@ -67,9 +78,12 @@ __all__ = [
     "Topology",
     "TopologyConfig",
     "ChurnProfile",
+    "ModelRef",
     "ScenarioSpec",
     "ScenarioRunner",
     "ScenarioResult",
+    "WorkloadPhase",
+    "Session",
     "get_scenario",
     "run_scenario",
     "scenario_names",

@@ -113,6 +113,11 @@ class Squirrel:
         #: objects replicated at their home node (home-store strategy), with the
         #: same perfect-handoff assumption.
         self._home_store: Set[ObjectId] = set()
+        #: memoised object-id -> ring key mapping: ``hash_key`` is a SHA-256
+        #: digest per call, and paper-scale replays look the same few thousand
+        #: objects up hundreds of thousands of times.  Pure memo — the DHT key
+        #: of an object never changes, so draws and routes are unaffected.
+        self._object_keys: Dict[ObjectId, int] = {}
         self._bootstrapped = False
 
     # -- lifecycle ----------------------------------------------------------------
@@ -148,15 +153,31 @@ class Squirrel:
     def _host_latency(self, host_a: int, host_b: int) -> float:
         return self.topology.latency_ms(host_a, host_b)
 
+    def _object_key(self, object_id: ObjectId) -> int:
+        key = self._object_keys.get(object_id)
+        if key is None:
+            key = self.idspace.hash_key(object_id)
+            self._object_keys[object_id] = key
+        return key
+
     def _home_node_of(self, object_id: ObjectId) -> Optional[int]:
-        return self.ring.successor_of(self.idspace.hash_key(object_id))
+        return self.ring.successor_of(self._object_key(object_id))
 
     def _route_latency(self, path: List[int]) -> float:
+        if len(path) < 2:
+            return 0.0
+        # Each interior node is resolved once (not once as src and once as
+        # dst), and the lookups are bound locally: this sits on the Squirrel
+        # dispatch hot path, once per overlay hop per query.
+        peers = self._peers
+        by_node = self._peers_by_node
+        latency_ms = self.topology.latency_ms
         total = 0.0
-        for src, dst in zip(path, path[1:]):
-            src_peer = self._peers[self._peers_by_node[src]]
-            dst_peer = self._peers[self._peers_by_node[dst]]
-            total += self._host_latency(src_peer.host_id, dst_peer.host_id)
+        previous_host = peers[by_node[path[0]]].host_id
+        for node in path[1:]:
+            host = peers[by_node[node]].host_id
+            total += latency_ms(previous_host, host)
+            previous_host = host
         return total
 
     # -- query processing -------------------------------------------------------------
@@ -185,7 +206,7 @@ class Squirrel:
             return record
 
         # Route through the DHT from the requester to the object's home node.
-        path = self.ring.ideal_route(requester.node_id, self.idspace.hash_key(object_id))
+        path = self.ring.ideal_route(requester.node_id, self._object_key(object_id))
         latency = self._route_latency(path)
         hops = max(0, len(path) - 1)
         home_node = path[-1]

@@ -66,10 +66,19 @@ def build_parser() -> argparse.ArgumentParser:
         _add_scale_options(sub)
 
     scenarios = subparsers.add_parser(
-        "scenarios", help="list or run the named scenarios of the library"
+        "scenarios", help="list, show or run the named scenarios of the library"
     )
     verbs = scenarios.add_subparsers(dest="verb", required=True)
     verbs.add_parser("list", help="list the scenario library")
+    show_verb = verbs.add_parser(
+        "show", help="print one scenario's fully resolved spec, program and models"
+    )
+    show_verb.add_argument("name", help="scenario name (see `scenarios list`)")
+    show_verb.add_argument("--json", action="store_true",
+                           help="emit the resolved spec as JSON instead of tables")
+    show_verb.add_argument("--scale", type=float, default=1.0,
+                           help="show the spec at a ratio-preserving scale "
+                                "(default 1.0, i.e. as registered)")
     run_verb = verbs.add_parser(
         "run", help="run one library scenario (or --all) and print metrics JSON"
     )
@@ -266,6 +275,92 @@ def _command_scenarios_list(out) -> int:
     return 0
 
 
+def _command_scenarios_show(args: argparse.Namespace, out) -> int:
+    """The ``scenarios show`` verb: resolved spec + program, for debugging."""
+    try:
+        spec = get_scenario(args.name)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    if args.scale <= 0:
+        print("error: --scale must be positive", file=sys.stderr)
+        return 2
+    if args.scale != 1.0:
+        spec = spec.scaled(args.scale)
+    spans = spec.compiled_program()
+
+    if args.json:
+        document = spec.to_dict()
+        document["effective"] = {
+            "metrics_window_s": spec.effective_metrics_window_s,
+            "keepalive_period_s": spec.effective_keepalive_period_s,
+            "warmup_s": spec.warmup_s,
+            "locality_bits": spec.locality_bits(),
+        }
+        document["compiled_program"] = [
+            {
+                "start_s": span.start_s,
+                "end_s": span.end_s,
+                "rate_multiplier": span.rate_multiplier,
+                "zipf_alpha": span.zipf_alpha,
+                "hotspot_rotation": span.hotspot_rotation,
+            }
+            for span in spans
+        ]
+        print(json.dumps(document, indent=2, sort_keys=True), file=out)
+        return 0
+
+    data = spec.to_dict()
+    skip = {"program", "churn_model", "fault_model", "churn", "description"}
+    rows = [
+        (key, json.dumps(value) if isinstance(value, (list, dict)) else value)
+        for key, value in sorted(data.items())
+        if key not in skip
+    ]
+    print(format_table(["field", "value"], rows, title=f"Scenario: {spec.name}"), file=out)
+    print(file=out)
+    print(f"  {spec.description}", file=out)
+    print(file=out)
+
+    if spans:
+        phase_rows = [
+            (
+                index,
+                f"{span.start_s:.0f}",
+                f"{span.end_s:.0f}",
+                f"x{span.rate_multiplier:g}",
+                "inherit" if span.zipf_alpha is None else f"{span.zipf_alpha:g}",
+                span.hotspot_rotation,
+            )
+            for index, span in enumerate(spans)
+        ]
+        print(
+            format_table(
+                ["phase", "start(s)", "end(s)", "rate", "zipf", "rotation"],
+                phase_rows,
+                title="Workload program",
+            ),
+            file=out,
+        )
+    else:
+        print("Workload program: single stationary phase (no program)", file=out)
+    print(file=out)
+
+    churn = spec.churn
+    churn_desc = (
+        f"content={churn.content_failures_per_hour:g}/h, "
+        f"directory={churn.directory_failures_per_hour:g}/h, "
+        f"locality={churn.locality_changes_per_hour:g}/h"
+        if churn.is_enabled
+        else "idle profile"
+    )
+    print(f"Churn model: {spec.churn_model.name} "
+          f"{spec.churn_model.kwargs or ''} ({churn_desc})", file=out)
+    print(f"Fault model: {spec.fault_model.name} "
+          f"{spec.fault_model.kwargs or ''}", file=out)
+    return 0
+
+
 def _command_scenarios_diff(args: argparse.Namespace, out) -> int:
     try:
         left = diffing_module.load_digest(Path(args.left))
@@ -453,6 +548,8 @@ def _dispatch(args: argparse.Namespace, out) -> int:
     if args.command == "scenarios":
         if args.verb == "list":
             return _command_scenarios_list(out)
+        if args.verb == "show":
+            return _command_scenarios_show(args, out)
         if args.verb == "diff":
             return _command_scenarios_diff(args, out)
         return _command_scenarios_run(args, out)

@@ -132,23 +132,16 @@ class ChurnInjector:
                 )
 
     def _pick_content_peer(self) -> Optional[str]:
-        alive = [
-            peer_id
-            for peer_id, peer in self._system._content_peers.items()  # noqa: SLF001
-            if peer.alive
-        ]
+        alive = self._system.alive_content_peer_ids()
         if not alive:
             return None
-        return self._system.sim.streams.choice("churn:victim", sorted(alive))
+        return self._system.sim.streams.choice("churn:victim", alive)
 
     def _pick_directory_pair(self) -> Optional[tuple[str, int]]:
         pairs = [
             (website, locality)
-            for (website, locality), peer_id in sorted(
-                self._system._directory_by_pair.items()  # noqa: SLF001
-            )
-            if (directory := self._system.directory_peer(peer_id)) is not None and directory.alive
-            and self._system.overlay_members(website, locality)
+            for website, locality in self._system.active_directory_pairs()
+            if self._system.overlay_members(website, locality)
         ]
         if not pairs:
             return None

@@ -156,6 +156,31 @@ class FlowerCDN:
     def overlay_members(self, website: str, locality: int) -> List[str]:
         return list(self._overlay_members.get((website, locality), ()))
 
+    def alive_content_peer_ids(self, locality: Optional[int] = None) -> List[str]:
+        """Sorted ids of alive content peers, optionally within one locality.
+
+        The stable ordering makes the churn/fault injectors deterministic:
+        victim draws index into this list via named random streams.
+        """
+        return sorted(
+            peer_id
+            for peer_id, peer in self._content_peers.items()
+            if peer.alive and (locality is None or peer.locality == locality)
+        )
+
+    def active_directory_pairs(
+        self, locality: Optional[int] = None
+    ) -> List[Tuple[str, int]]:
+        """Sorted (website, locality) pairs whose directory peer is alive."""
+        pairs: List[Tuple[str, int]] = []
+        for (website, loc), peer_id in sorted(self._directory_by_pair.items()):
+            if locality is not None and loc != locality:
+                continue
+            directory = self._directory_peers.get(peer_id)
+            if directory is not None and directory.alive:
+                pairs.append((website, loc))
+        return pairs
+
     def overlay_stats(self, website: str, locality: int) -> OverlayStats:
         directory = self.directory_for(website, locality)
         return OverlayStats(

@@ -16,7 +16,7 @@ EXPERIMENTS.md records which scale produced the committed numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.baselines.squirrel import Squirrel, SquirrelConfig
 from repro.core.churn import ChurnConfig, ChurnInjector
@@ -31,6 +31,7 @@ from repro.sim.rng import RandomStreams
 from repro.workload.assignment import ClientAssigner, ResolvedQuery
 from repro.workload.catalog import Catalog
 from repro.workload.generator import QueryGenerator, WorkloadConfig
+from repro.workload.phases import PhaseSpan
 from repro.workload.trace import ResolvedTraceArrays
 
 
@@ -49,6 +50,9 @@ class ExperimentSetup:
     #: when True the metric collectors fold records into array reservoirs
     #: instead of retaining per-query objects (paper-scale memory mode)
     compact_metrics: bool = False
+    #: compiled workload phases of a scenario program (empty: one stationary
+    #: phase over the whole run — the historical behaviour)
+    phases: Tuple[PhaseSpan, ...] = ()
 
     # -- canonical scales -----------------------------------------------------
 
@@ -198,6 +202,27 @@ class ExperimentRunner:
     # Backwards-compatible alias (pre-perf-suite name).
     _build_flower = build_flower
 
+    def build_squirrel(self) -> tuple[Simulator, Squirrel]:
+        """Construct a bootstrapped Squirrel baseline plus its simulator.
+
+        Public for the same reason as :meth:`build_flower`: the perf suite
+        times Squirrel's trace-replay dispatch phase in isolation.
+        """
+        sim = Simulator(
+            seed=self.setup.seed,
+            end_time=self.setup.flower.simulation_duration_s,
+            queue_backend=self.setup.queue_backend,
+        )
+        system = Squirrel(
+            self.setup.squirrel,
+            sim,
+            self.topology,
+            latency_model=LatencyModel(self.topology),
+            compact_metrics=self.setup.compact_metrics,
+        )
+        system.bootstrap()
+        return sim, system
+
     def resolved_trace(self) -> ResolvedTraceArrays:
         """The query trace with concrete originating hosts, as array columns.
 
@@ -224,7 +249,9 @@ class ExperimentRunner:
             reserved_hosts=reserved,
         )
         duration = self.setup.flower.simulation_duration_s
-        self._trace = assigner.assign_trace(generator.generate_trace(duration))
+        self._trace = assigner.assign_trace(
+            generator.generate_trace(duration, phases=self.setup.phases)
+        )
         return self._trace
 
     def resolved_queries(self) -> List[ResolvedQuery]:
@@ -252,25 +279,40 @@ class ExperimentRunner:
         self,
         churn: Optional[ChurnConfig] = None,
         replication: Optional[ReplicationConfig] = None,
+        attachments: Sequence[Callable[[FlowerCDN], Optional[object]]] = (),
     ) -> RunResult:
         """Run Flower-CDN over the shared trace.
 
         ``churn`` enables failure/mobility injection; ``replication`` enables
         the active-replication extension (both off by default, matching the
-        configuration the paper evaluates).
+        configuration the paper evaluates).  ``attachments`` are callables
+        receiving the freshly built system and returning an injector with
+        ``start()``/``stop()``, a list of such injectors, or ``None`` for
+        "nothing to inject" — the hook the scenario layer's pluggable
+        churn/fault models attach through
+        (:meth:`repro.session.Session.attach_models`).
         """
         self.resolved_trace()  # build the trace before the live system exists
         sim, system = self._build_flower()
-        injector = None
+        injectors = []
         if churn is not None and churn.is_enabled:
-            injector = ChurnInjector(system, churn)
+            injectors.append(ChurnInjector(system, churn))
+        for attach in attachments:
+            attached = attach(system)
+            if attached is None:
+                continue
+            if hasattr(attached, "start"):
+                injectors.append(attached)
+            else:
+                injectors.extend(attached)
+        for injector in injectors:
             injector.start()
         replicator = None
         if replication is not None:
             replicator = ActiveReplicator(system, replication)
             replicator.start()
         duration = self._replay_trace(sim, system)
-        if injector is not None:
+        for injector in reversed(injectors):
             injector.stop()
         if replicator is not None:
             replicator.stop()
@@ -293,19 +335,8 @@ class ExperimentRunner:
 
     def run_squirrel(self) -> RunResult:
         """Run the Squirrel baseline over the same trace."""
-        sim = Simulator(
-            seed=self.setup.seed,
-            end_time=self.setup.flower.simulation_duration_s,
-            queue_backend=self.setup.queue_backend,
-        )
-        system = Squirrel(
-            self.setup.squirrel,
-            sim,
-            self.topology,
-            latency_model=LatencyModel(self.topology),
-            compact_metrics=self.setup.compact_metrics,
-        )
-        system.bootstrap()
+        self.resolved_trace()  # build the trace before the live system exists
+        sim, system = self.build_squirrel()
         duration = self._replay_trace(sim, system)
         metrics = system.metrics
         return RunResult(

@@ -158,11 +158,16 @@ class ChordRing:
         if not live:
             return [start_node_id]
 
-        def successor(identifier: int) -> int:
-            index = bisect.bisect_left(live, identifier)
-            return live[index % len(live)]
+        # The per-hop circular arithmetic is inlined (identifiers are already
+        # normalised members of the space, so `in_interval(finger, current,
+        # key, inclusive_end=True)` reduces to one modular-distance compare):
+        # this loop runs O(log n) bisects per hop on the Squirrel dispatch
+        # hot path, and the helper-call overhead used to dominate it.
+        n = len(live)
+        size = self.idspace.size
+        bisect_left = bisect.bisect_left
 
-        destination = successor(key)
+        destination = live[bisect_left(live, key) % n]
         path = [start_node_id]
         current = start_node_id
         guard = 4 * self.idspace.bits
@@ -171,13 +176,13 @@ class ChordRing:
             # Fingers whose start lies beyond the key overshoot it, so the scan
             # starts at the largest power of two not exceeding the remaining
             # clockwise distance (classic closest-preceding-finger behaviour).
-            remaining = self.idspace.clockwise_distance(current, key)
+            remaining = (key - current) % size
             start_index = max(0, remaining.bit_length() - 1)
             for index in range(start_index, -1, -1):
-                finger = successor(self.idspace.normalize(current + (1 << index)))
+                finger = live[bisect_left(live, (current + (1 << index)) % size) % n]
                 if finger == current:
                     continue
-                if self.idspace.in_interval(finger, current, key, inclusive_end=True):
+                if 0 < (finger - current) % size <= remaining:
                     next_hop = finger
                     break
             if next_hop is None or next_hop == current:

@@ -11,11 +11,20 @@ golden files.
 """
 
 from repro.scenarios.spec import ChurnProfile, ScenarioSpec
+from repro.scenarios.program import WorkloadPhase, compile_program
+from repro.scenarios.models import (
+    ModelRef,
+    churn_model_names,
+    fault_model_names,
+    register_churn_model,
+    register_fault_model,
+)
 from repro.scenarios.runner import (
     ScenarioResult,
     ScenarioRunner,
     SystemResult,
     run_scenario,
+    summarise_system,
 )
 from repro.scenarios.library import (
     PAPER_DEFAULT,
@@ -30,10 +39,18 @@ from repro.scenarios.library import (
 __all__ = [
     "ChurnProfile",
     "ScenarioSpec",
+    "WorkloadPhase",
+    "compile_program",
+    "ModelRef",
+    "churn_model_names",
+    "fault_model_names",
+    "register_churn_model",
+    "register_fault_model",
     "ScenarioResult",
     "ScenarioRunner",
     "SystemResult",
     "run_scenario",
+    "summarise_system",
     "PAPER_DEFAULT",
     "get_scenario",
     "iter_scenarios",

@@ -17,6 +17,8 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.core.config import HOUR, MINUTE
 from repro.experiments.driver import ExperimentSetup
+from repro.scenarios.models import ModelRef
+from repro.scenarios.program import WorkloadPhase
 from repro.scenarios.spec import KNOWN_TIERS, ChurnProfile, ScenarioSpec
 
 _REGISTRY: Dict[str, ScenarioSpec] = {}
@@ -176,6 +178,86 @@ register_scenario(
         gossip_length=5,
         view_size=10,
         duration_s=2 * HOUR,
+    )
+)
+
+
+# -- scenario-program workloads (phased, churned, faulted) -------------------
+
+register_scenario(
+    ScenarioSpec(
+        name="adversarial-hotspots",
+        description=(
+            "Rotating flash crowds: every 30 minutes the doubled-rate, "
+            "steep-Zipf hotspot window jumps to a disjoint slice of the "
+            "catalogue, so freshly warmed overlays turn cold — the "
+            "adversarial counterpart of flash-crowd."
+        ),
+        duration_s=2 * HOUR,
+        query_rate_per_s=3.0,
+        program=(
+            WorkloadPhase(duration_s=30 * MINUTE, rate_multiplier=2.0,
+                          zipf_alpha=1.1, hotspot_rotation=0),
+            WorkloadPhase(duration_s=30 * MINUTE, rate_multiplier=2.0,
+                          zipf_alpha=1.1, hotspot_rotation=2),
+            WorkloadPhase(duration_s=30 * MINUTE, rate_multiplier=2.0,
+                          zipf_alpha=1.1, hotspot_rotation=4),
+            WorkloadPhase(rate_multiplier=2.0, zipf_alpha=1.1,
+                          hotspot_rotation=6),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="diurnal-cycle",
+        description=(
+            "A compressed day: a quiet night, a morning ramp, a skewed "
+            "mid-day peak at 2.5x the base rate and an evening decline — "
+            "the paper's stationary load made time-varying."
+        ),
+        duration_s=4 * HOUR,
+        program=(
+            WorkloadPhase(duration_s=1 * HOUR, rate_multiplier=0.4),
+            WorkloadPhase(duration_s=1 * HOUR, rate_multiplier=1.2),
+            WorkloadPhase(duration_s=1 * HOUR, rate_multiplier=2.5, zipf_alpha=1.0),
+            WorkloadPhase(rate_multiplier=0.8),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="correlated-failures",
+        description=(
+            "A regional outage on top of light background churn: halfway "
+            "through the run, 60% of locality 0's content peers and all of "
+            "its directory peers fail at the same instant, exercising the "
+            "Section 5 repair machinery under correlated (not independent) "
+            "failures."
+        ),
+        churn=ChurnProfile(content_failures_per_hour=12.0),
+        fault_model=ModelRef.of(
+            "correlated-locality",
+            at_fraction=0.5,
+            locality=0,
+            fraction=0.6,
+            include_directories=True,
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="cache-bounded-peers",
+        description=(
+            "Finite peer disks: every content peer caches at most 25 "
+            "objects (LRU) against a 200-object-per-site catalogue, so "
+            "summaries go stale through eviction rather than churn."
+        ),
+        duration_s=2 * HOUR,
+        query_rate_per_s=4.0,
+        content_cache_capacity=25,
     )
 )
 

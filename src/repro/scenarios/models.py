@@ -1,0 +1,358 @@
+"""Pluggable churn and fault models for scenario specs.
+
+A :class:`~repro.scenarios.spec.ScenarioSpec` names its dynamicity as
+declarative values: a **churn model** (sustained, rate-driven background
+dynamics — the Section 5 regime) and a **fault model** (discrete, scheduled
+disturbance events such as a correlated locality outage).  Both are resolved
+through registries, entry-point style like the simulator's
+``KNOWN_QUEUE_BACKENDS``: a model is registered under a name, a spec refers
+to it with a :class:`ModelRef` (name + frozen parameters), and the
+:class:`~repro.session.Session` builds and attaches the model's injector to
+the live system at run time.
+
+Model protocol
+--------------
+
+A model class is constructed from the ``ModelRef`` parameters and exposes::
+
+    def attach(self, system, spec) -> injector-or-None
+
+where the returned injector has ``start()`` / ``stop()`` (and, by
+convention, a ``log`` of :class:`~repro.core.churn.ChurnLogEntry` records).
+Returning ``None`` means "this model injects nothing for this spec" — the
+run then carries zero scheduling or random-stream overhead, which is what
+keeps pre-program goldens byte-identical.
+
+Registering a custom model (e.g. from a test or a plugin)::
+
+    from repro.scenarios.models import register_fault_model
+
+    @register_fault_model("my-outage")
+    class MyOutage:
+        def __init__(self, at_s=600.0):
+            self.at_s = at_s
+        def attach(self, system, spec):
+            ...
+"""
+
+from __future__ import annotations
+
+import inspect
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.churn import ChurnInjector, ChurnLogEntry
+from repro.sim.process import PeriodicProcess
+
+#: default model names (the behaviour of pre-registry specs)
+DEFAULT_CHURN_MODEL = "poisson"
+DEFAULT_FAULT_MODEL = "none"
+
+
+@dataclass(frozen=True)
+class ModelRef:
+    """A declarative reference to a registered model: name + frozen params.
+
+    Parameters are stored as a sorted tuple of ``(key, value)`` pairs so the
+    reference stays hashable inside frozen scenario specs; use
+    :meth:`ModelRef.of` to build one from keyword arguments.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def of(cls, name: str, **params: object) -> "ModelRef":
+        return cls(name=name, params=tuple(sorted(params.items())))
+
+    @property
+    def kwargs(self) -> Dict[str, object]:
+        return dict(self.params)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "params": self.kwargs}
+
+
+# -- registries ---------------------------------------------------------------
+
+_CHURN_MODELS: Dict[str, Callable] = {}
+_FAULT_MODELS: Dict[str, Callable] = {}
+
+
+def register_churn_model(name: str, factory: Optional[Callable] = None, *, overwrite: bool = False):
+    """Register a churn-model factory (usable as a decorator)."""
+    return _register(_CHURN_MODELS, "churn", name, factory, overwrite)
+
+
+def register_fault_model(name: str, factory: Optional[Callable] = None, *, overwrite: bool = False):
+    """Register a fault-model factory (usable as a decorator)."""
+    return _register(_FAULT_MODELS, "fault", name, factory, overwrite)
+
+
+def _register(registry: Dict[str, Callable], kind: str, name: str,
+              factory: Optional[Callable], overwrite: bool):
+    def add(target: Callable) -> Callable:
+        if name in registry and not overwrite:
+            raise ValueError(f"{kind} model {name!r} is already registered")
+        registry[name] = target
+        return target
+
+    return add if factory is None else add(factory)
+
+
+def unregister_churn_model(name: str) -> None:
+    _CHURN_MODELS.pop(name, None)
+
+
+def unregister_fault_model(name: str) -> None:
+    _FAULT_MODELS.pop(name, None)
+
+
+def churn_model_names() -> List[str]:
+    return sorted(_CHURN_MODELS)
+
+
+def fault_model_names() -> List[str]:
+    return sorted(_FAULT_MODELS)
+
+
+def build_churn_model(ref: ModelRef):
+    return _build(_CHURN_MODELS, "churn", ref)
+
+
+def build_fault_model(ref: ModelRef):
+    return _build(_FAULT_MODELS, "fault", ref)
+
+
+def _build(registry: Dict[str, Callable], kind: str, ref: ModelRef):
+    try:
+        factory = registry[ref.name]
+    except KeyError:
+        known = ", ".join(sorted(registry))
+        raise ValueError(
+            f"unknown {kind} model {ref.name!r}; registered models: {known}"
+        ) from None
+    # Reject mismatched parameters against the factory signature *before*
+    # calling it, so a TypeError raised inside a (possibly third-party)
+    # constructor surfaces as the genuine bug it is instead of being
+    # misreported as a ModelRef-argument mistake.
+    try:
+        inspect.signature(factory).bind(**ref.kwargs)
+    except TypeError as error:
+        raise ValueError(
+            f"invalid parameters for {kind} model {ref.name!r}: {error}"
+        ) from None
+    return factory(**ref.kwargs)
+
+
+# -- built-in churn models ----------------------------------------------------
+
+
+@register_churn_model("none")
+class NoChurn:
+    """Churn disabled regardless of the spec's churn profile."""
+
+    def attach(self, system, spec):
+        return None
+
+
+@register_churn_model("poisson")
+class PoissonChurn:
+    """The Section 5 background regime: the spec's :class:`ChurnProfile`
+    rates drive the tick-based :class:`~repro.core.churn.ChurnInjector`.
+
+    This is the default model and reproduces the pre-registry behaviour
+    exactly; ``tick_period_s`` optionally overrides the injector's wake-up
+    period.
+    """
+
+    def __init__(self, tick_period_s: Optional[float] = None) -> None:
+        if tick_period_s is not None and tick_period_s <= 0:
+            raise ValueError("tick_period_s must be positive or None")
+        self.tick_period_s = tick_period_s
+
+    def attach(self, system, spec):
+        config = spec.churn.to_config()
+        if config is None:
+            return None
+        if self.tick_period_s is not None:
+            from dataclasses import replace
+
+            config = replace(config, tick_period_s=self.tick_period_s)
+        return ChurnInjector(system, config)
+
+
+class BurstChurnInjector:
+    """Periodic bursts of simultaneous content-peer failures."""
+
+    def __init__(self, system, period_s: float, burst_size: int) -> None:
+        self._system = system
+        self._period_s = period_s
+        self._burst_size = burst_size
+        self._process: Optional[PeriodicProcess] = None
+        self.log: List[ChurnLogEntry] = []
+
+    def start(self) -> None:
+        if self._process is not None:
+            return
+        self._process = PeriodicProcess(
+            self._system.sim,
+            self._period_s,
+            self._tick,
+            name="burst-churn",
+            jitter_stream="churn:burst-jitter",
+        )
+        self._process.start()
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.stop()
+            self._process = None
+
+    def _tick(self) -> None:
+        system = self._system
+        alive = system.alive_content_peer_ids()
+        if not alive:
+            return
+        victims = system.sim.streams.sample(
+            "churn:burst-victims", alive, min(self._burst_size, len(alive))
+        )
+        for victim in victims:
+            if system.fail_content_peer(victim):
+                self.log.append(
+                    ChurnLogEntry(
+                        time=system.sim.now, kind="burst_content_failure", target=victim
+                    )
+                )
+
+
+@register_churn_model("burst")
+class BurstChurn:
+    """Content peers fail in periodic correlated bursts instead of a
+    smoothly-thinned Poisson stream — the adversarial counterpart of
+    ``"poisson"`` (same mechanisms under test, bunchier arrivals)."""
+
+    def __init__(self, period_s: float = 1800.0, burst_size: int = 5) -> None:
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if burst_size <= 0:
+            raise ValueError("burst_size must be positive")
+        self.period_s = period_s
+        self.burst_size = burst_size
+
+    def attach(self, system, spec):
+        return BurstChurnInjector(system, self.period_s, self.burst_size)
+
+
+# -- built-in fault models ----------------------------------------------------
+
+
+@register_fault_model("none")
+class NoFaults:
+    """No scheduled disturbance events (the default)."""
+
+    def attach(self, system, spec):
+        return None
+
+
+@dataclass
+class ScheduledFaultInjector:
+    """Fires one callback at an absolute simulation time (optionally repeating)."""
+
+    system: object
+    at_s: float
+    fire: Callable[[], None]
+    repeat_every_s: Optional[float] = None
+    _events: list = field(default_factory=list)
+    log: List[ChurnLogEntry] = field(default_factory=list)
+
+    def start(self) -> None:
+        sim = self.system.sim
+        if self.repeat_every_s is None:
+            self._events.append(sim.at(self.at_s, self.fire, label="fault"))
+            return
+        # Repeat until the run's horizon: the simulator's end_time when set,
+        # otherwise the configured run duration (harnesses that drive
+        # `sim.run(until=...)` without an end_time must not silently lose
+        # every repeat occurrence).
+        horizon = sim.end_time
+        if horizon is None:
+            horizon = self.system.config.simulation_duration_s
+        time = self.at_s
+        while time <= horizon:
+            self._events.append(sim.at(time, self.fire, label="fault"))
+            time += self.repeat_every_s
+
+    def stop(self) -> None:
+        for event in self._events:
+            if not event.cancelled:
+                self.system.sim.cancel(event)
+        self._events.clear()
+
+
+@register_fault_model("correlated-locality")
+class CorrelatedLocalityFaults:
+    """A correlated locality outage: at ``at_fraction`` of the run, a
+    ``fraction`` of the alive content peers of one locality fail *at the same
+    instant*, together (optionally) with every directory peer serving that
+    locality — the failure pattern of a regional network partition or power
+    event, which independent per-peer churn can never produce.
+    """
+
+    def __init__(
+        self,
+        at_fraction: float = 0.5,
+        locality: int = 0,
+        fraction: float = 0.5,
+        include_directories: bool = True,
+        repeat_every_s: Optional[float] = None,
+    ) -> None:
+        if not 0.0 < at_fraction < 1.0:
+            raise ValueError("at_fraction must be in (0, 1)")
+        if locality < 0:
+            raise ValueError("locality must be non-negative")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if repeat_every_s is not None and repeat_every_s <= 0:
+            raise ValueError("repeat_every_s must be positive or None")
+        self.at_fraction = at_fraction
+        self.locality = locality
+        self.fraction = fraction
+        self.include_directories = include_directories
+        self.repeat_every_s = repeat_every_s
+
+    def attach(self, system, spec):
+        duration = system.config.simulation_duration_s
+        injector = ScheduledFaultInjector(
+            system=system,
+            at_s=self.at_fraction * duration,
+            fire=lambda: None,
+            repeat_every_s=self.repeat_every_s,
+        )
+        injector.fire = lambda: self._fire(system, injector.log)
+        return injector
+
+    def _fire(self, system, log: List[ChurnLogEntry]) -> None:
+        sim = system.sim
+        alive = system.alive_content_peer_ids(self.locality)
+        if alive:
+            count = min(len(alive), max(1, math.ceil(self.fraction * len(alive))))
+            victims = sim.streams.sample("fault:correlated-victims", alive, count)
+            for victim in victims:
+                if system.fail_content_peer(victim):
+                    log.append(
+                        ChurnLogEntry(
+                            time=sim.now, kind="correlated_content_failure", target=victim
+                        )
+                    )
+        if self.include_directories:
+            for website, locality in system.active_directory_pairs(self.locality):
+                if system.fail_directory(website, locality):
+                    log.append(
+                        ChurnLogEntry(
+                            time=sim.now,
+                            kind="correlated_directory_failure",
+                            target=f"({website}, {locality})",
+                        )
+                    )

@@ -115,82 +115,88 @@ class ScenarioResult:
         return digest
 
 
+def summarise_system(spec: ScenarioSpec, system: str, run: RunResult) -> SystemResult:
+    """Fold one raw :class:`RunResult` into the structured scenario shape."""
+    metrics = run.metrics
+    split_s = spec.warmup_s
+    outcome_fractions = metrics.outcome_fractions()
+
+    headline: Dict[str, float] = {
+        "num_queries": run.num_queries,
+        "hit_ratio": run.hit_ratio,
+        "average_lookup_latency_ms": run.average_lookup_latency_ms,
+        "average_transfer_distance_ms": run.average_transfer_distance_ms,
+        "background_bps_per_peer": run.background_bps_per_peer,
+        "redirection_failures": run.redirection_failures,
+        "average_overlay_hops": metrics.average_overlay_hops,
+    }
+    for outcome, fraction in sorted(
+        outcome_fractions.items(), key=lambda item: item[0].value
+    ):
+        headline[f"fraction_{outcome.value}"] = fraction
+
+    phases = {
+        phase: {
+            "hit_ratio": _phase_mean(metrics.hit_ratio_series, split_s, phase),
+            "lookup_latency_ms": _phase_mean(
+                metrics.lookup_latency_series, split_s, phase
+            ),
+            "transfer_distance_ms": _phase_mean(
+                metrics.transfer_distance_series, split_s, phase
+            ),
+        }
+        for phase in ("warmup", "steady")
+    }
+
+    series: Dict[str, List[Tuple[float, float]]] = {
+        "hit_ratio_cumulative": metrics.hit_ratio_series.cumulative_means(),
+        "lookup_latency_ms": metrics.lookup_latency_series.window_means(),
+        "transfer_distance_ms": metrics.transfer_distance_series.window_means(),
+    }
+    if run.bandwidth is not None:
+        series["background_bps_per_peer"] = run.bandwidth.bps_series()
+
+    return SystemResult(
+        system=system, metrics=headline, phases=phases, series=series, run=run
+    )
+
+
 class ScenarioRunner:
-    """Runs every system a :class:`ScenarioSpec` requests over one shared trace."""
+    """Back-compatible shim over :class:`repro.session.Session`.
+
+    Pre-Session code constructed a ``ScenarioRunner`` directly; the class
+    remains (same constructor, same ``run()``/``experiment`` surface) but
+    delegates everything to a Session so there is exactly one execution
+    path.  New code should use :meth:`repro.session.Session.from_spec`.
+    """
 
     def __init__(self, spec: ScenarioSpec, seed: Optional[int] = None) -> None:
+        from repro.session import Session
+
+        self._session = Session(spec, seed=seed)
         self.spec = spec
-        self.seed = spec.seed if seed is None else seed
-        self._experiment = ExperimentRunner(spec.to_setup(seed=self.seed))
+        self.seed = self._session.seed
+
+    @property
+    def session(self):
+        """The Session this shim wraps."""
+        return self._session
 
     @property
     def experiment(self) -> ExperimentRunner:
         """The underlying driver (exposed for tests and ad-hoc inspection)."""
-        return self._experiment
-
-    # -- execution ---------------------------------------------------------
+        return self._session.experiment
 
     def run(self) -> ScenarioResult:
-        systems: Dict[str, SystemResult] = {}
-        for system in self.spec.systems:
-            if system == "flower":
-                run = self._experiment.run_flower(churn=self.spec.churn.to_config())
-            else:
-                run = self._experiment.run_squirrel()
-            systems[system] = self._summarise(system, run)
-        return ScenarioResult(spec=self.spec, seed=self.seed, systems=systems)
-
-    # -- summarisation -----------------------------------------------------
-
-    def _summarise(self, system: str, run: RunResult) -> SystemResult:
-        metrics = run.metrics
-        split_s = self.spec.warmup_s
-        outcome_fractions = metrics.outcome_fractions()
-
-        headline: Dict[str, float] = {
-            "num_queries": run.num_queries,
-            "hit_ratio": run.hit_ratio,
-            "average_lookup_latency_ms": run.average_lookup_latency_ms,
-            "average_transfer_distance_ms": run.average_transfer_distance_ms,
-            "background_bps_per_peer": run.background_bps_per_peer,
-            "redirection_failures": run.redirection_failures,
-            "average_overlay_hops": metrics.average_overlay_hops,
-        }
-        for outcome, fraction in sorted(
-            outcome_fractions.items(), key=lambda item: item[0].value
-        ):
-            headline[f"fraction_{outcome.value}"] = fraction
-
-        phases = {
-            phase: {
-                "hit_ratio": _phase_mean(metrics.hit_ratio_series, split_s, phase),
-                "lookup_latency_ms": _phase_mean(
-                    metrics.lookup_latency_series, split_s, phase
-                ),
-                "transfer_distance_ms": _phase_mean(
-                    metrics.transfer_distance_series, split_s, phase
-                ),
-            }
-            for phase in ("warmup", "steady")
-        }
-
-        series: Dict[str, List[Tuple[float, float]]] = {
-            "hit_ratio_cumulative": metrics.hit_ratio_series.cumulative_means(),
-            "lookup_latency_ms": metrics.lookup_latency_series.window_means(),
-            "transfer_distance_ms": metrics.transfer_distance_series.window_means(),
-        }
-        if run.bandwidth is not None:
-            series["background_bps_per_peer"] = run.bandwidth.bps_series()
-
-        return SystemResult(
-            system=system, metrics=headline, phases=phases, series=series, run=run
-        )
+        return self._session.run()
 
 
 def run_scenario(
     spec: ScenarioSpec, seed: Optional[int] = None, scale: Optional[float] = None
 ) -> ScenarioResult:
-    """Convenience wrapper: optionally rescale, then run the scenario."""
+    """Convenience wrapper: optionally rescale, then run through a Session."""
+    from repro.session import Session
+
     if scale is not None and scale != 1.0:
         spec = spec.scaled(scale)
-    return ScenarioRunner(spec, seed=seed).run()
+    return Session(spec, seed=seed).run()

@@ -25,7 +25,16 @@ from repro.core.churn import ChurnConfig
 from repro.core.config import HOUR, MINUTE, FlowerConfig, GossipConfig
 from repro.experiments.driver import ExperimentSetup
 from repro.network.topology import TopologyConfig
+from repro.scenarios.models import (
+    DEFAULT_CHURN_MODEL,
+    DEFAULT_FAULT_MODEL,
+    ModelRef,
+    build_churn_model,
+    build_fault_model,
+)
+from repro.scenarios.program import WorkloadPhase, compile_program, scale_program
 from repro.workload.generator import WorkloadConfig
+from repro.workload.phases import PhaseSpan
 
 #: system identifiers a scenario may ask to run
 KNOWN_SYSTEMS = ("flower", "squirrel")
@@ -94,12 +103,20 @@ class ScenarioSpec:
     active_websites: int = 2
     objects_per_website: int = 200
     max_content_overlay_size: int = 40
+    #: optional LRU bound on each content peer's cache (None: unbounded,
+    #: the paper's assumption)
+    content_cache_capacity: Optional[int] = None
 
     # -- workload ----------------------------------------------------------
     query_rate_per_s: float = 2.0
     zipf_alpha: float = 0.8
     arrival_process: str = "poisson"
     locality_weights: Tuple[float, ...] = ()
+    #: the scenario *program*: an ordered tuple of
+    #: :class:`~repro.scenarios.program.WorkloadPhase` values describing a
+    #: time-varying workload (empty = one stationary phase, the historical
+    #: behaviour; see docs/scenarios.md "Composing scenario programs")
+    program: Tuple[WorkloadPhase, ...] = ()
 
     # -- gossip ------------------------------------------------------------
     gossip_period_s: float = 30 * MINUTE
@@ -108,8 +125,13 @@ class ScenarioSpec:
     push_threshold: float = 0.1
     keepalive_period_s: Optional[float] = None  # None: same as gossip_period_s
 
-    # -- churn -------------------------------------------------------------
+    # -- churn and faults --------------------------------------------------
     churn: ChurnProfile = field(default_factory=ChurnProfile)
+    #: which registered churn model consumes the profile ("poisson" is the
+    #: historical tick-based injector; see repro.scenarios.models)
+    churn_model: ModelRef = field(default_factory=lambda: ModelRef(DEFAULT_CHURN_MODEL))
+    #: scheduled disturbance events ("none", "correlated-locality", ...)
+    fault_model: ModelRef = field(default_factory=lambda: ModelRef(DEFAULT_FAULT_MODEL))
 
     # -- run ---------------------------------------------------------------
     duration_s: float = 3 * HOUR
@@ -155,11 +177,23 @@ class ScenarioSpec:
             raise ValueError("keepalive_period_s must be positive or None")
         if self.metrics_window_s is not None and self.metrics_window_s <= 0:
             raise ValueError("metrics_window_s must be positive or None")
-        if self.churn.is_enabled and "squirrel" in self.systems:
-            # The Squirrel baseline has no churn-injection support; allowing
-            # it here would silently present an unfair comparison (churned
-            # Flower-CDN vs churn-free Squirrel) as same-conditions.
-            raise ValueError("churn profiles only apply to 'flower' scenarios")
+        if "squirrel" in self.systems:
+            # The Squirrel baseline has no churn/fault-injection support;
+            # allowing dynamicity here would silently present an unfair
+            # comparison (churned Flower-CDN vs churn-free Squirrel) as
+            # same-conditions.
+            if self.churn.is_enabled:
+                raise ValueError("churn profiles only apply to 'flower' scenarios")
+            if self.churn_model.name != DEFAULT_CHURN_MODEL and self.churn_model.name != "none":
+                raise ValueError("churn models only apply to 'flower' scenarios")
+            if self.fault_model.name != DEFAULT_FAULT_MODEL:
+                raise ValueError("fault models only apply to 'flower' scenarios")
+        # Resolve the model references eagerly so an unknown model name or a
+        # bad parameter fails at construction time, not mid-run.
+        build_churn_model(self.churn_model)
+        build_fault_model(self.fault_model)
+        # Compile the program eagerly: phases must tile [0, duration_s).
+        self.compiled_program()
         # The remaining fields are validated by the config objects they feed
         # (FlowerConfig, WorkloadConfig, TopologyConfig) in to_setup(); build
         # them eagerly so an invalid spec fails at construction time.
@@ -188,6 +222,10 @@ class ScenarioSpec:
         """Identifier bits needed to encode ``num_localities`` (min. 3)."""
         return max(3, math.ceil(math.log2(max(2, self.num_localities))))
 
+    def compiled_program(self) -> Tuple[PhaseSpan, ...]:
+        """The program compiled to absolute, contiguous workload spans."""
+        return compile_program(self.program, self.duration_s)
+
     # -- construction of the runtime configuration -------------------------
 
     def to_flower_config(self, seed: Optional[int] = None) -> FlowerConfig:
@@ -197,6 +235,7 @@ class ScenarioSpec:
             objects_per_website=self.objects_per_website,
             num_localities=self.num_localities,
             max_content_overlay_size=self.max_content_overlay_size,
+            content_cache_capacity=self.content_cache_capacity,
             locality_bits=self.locality_bits(),
             gossip=GossipConfig(
                 gossip_period_s=self.gossip_period_s,
@@ -234,6 +273,7 @@ class ScenarioSpec:
             seed=self.seed if seed is None else seed,
             queue_backend=self.queue_backend,
             compact_metrics=self.compact_metrics,
+            phases=self.compiled_program(),
         )
 
     # -- derivation --------------------------------------------------------
@@ -249,13 +289,21 @@ class ScenarioSpec:
         if factor <= 0:
             raise ValueError("factor must be positive")
         num_websites = max(self.active_websites, round(self.num_websites * factor))
+        duration_s = max(900.0, self.duration_s * factor)
+        capacity = self.content_cache_capacity
+        if capacity is not None:
+            capacity = max(5, round(capacity * factor))
         return replace(
             self,
             num_hosts=max(60, round(self.num_hosts * factor)),
             num_websites=num_websites,
             objects_per_website=max(20, round(self.objects_per_website * factor)),
             max_content_overlay_size=max(8, round(self.max_content_overlay_size * factor)),
-            duration_s=max(900.0, self.duration_s * factor),
+            content_cache_capacity=capacity,
+            duration_s=duration_s,
+            # Phase durations shrink with the run itself (the duration floor
+            # means the effective factor can differ from ``factor``).
+            program=scale_program(self.program, duration_s / self.duration_s),
             metrics_window_s=None,
         )
 
@@ -267,4 +315,7 @@ class ScenarioSpec:
         data = asdict(self)
         data["systems"] = list(self.systems)
         data["locality_weights"] = list(self.locality_weights)
+        data["program"] = [phase.to_dict() for phase in self.program]
+        data["churn_model"] = self.churn_model.to_dict()
+        data["fault_model"] = self.fault_model.to_dict()
         return data

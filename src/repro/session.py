@@ -1,0 +1,146 @@
+"""The unified :class:`Session` facade: one public entry point per run.
+
+Historically every consumer of the simulation re-assembled the
+``ScenarioSpec → ExperimentSetup → ExperimentRunner`` chain by hand — the
+CLI, the scenario runner, the perf suite and the parallel runner each knew
+how to build topology, catalogue and trace, and each had its own churn
+wiring.  A :class:`Session` collapses that chain behind one facade::
+
+    from repro.session import Session
+
+    result = Session.from_name("paper-default").run()        # ScenarioResult
+    result = Session.from_spec(my_spec, seed=7).run()
+    run    = Session.from_spec(my_spec).run_system("flower")  # one RunResult
+
+A session owns:
+
+* the **environment** (topology, catalogue, resolved query trace — built
+  once and shared by every system the spec names, via the underlying
+  :class:`~repro.experiments.driver.ExperimentRunner`);
+* the **dynamicity models** — the spec's pluggable churn and fault models
+  (:mod:`repro.scenarios.models`), resolved from their registries and
+  attached to each Flower-CDN run;
+* the **summarisation** that turns raw runs into the structured, golden-
+  checked :class:`~repro.scenarios.runner.ScenarioResult`.
+
+Sessions are deterministic functions of ``(spec, seed)``; running the same
+session twice (or two sessions of the same spec) yields byte-identical
+results.  Harnesses that need the lower layers (the perf suite times the
+dispatch phase in isolation) reach them through :attr:`Session.experiment`,
+:meth:`Session.build_flower` and :meth:`Session.resolved_trace` instead of
+reconstructing them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.driver import ExperimentRunner, ExperimentSetup, RunResult
+from repro.scenarios.models import build_churn_model, build_fault_model
+from repro.scenarios.runner import ScenarioResult, summarise_system
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["Session"]
+
+
+class Session:
+    """One fully-wired simulation run: spec in, structured result out."""
+
+    def __init__(self, spec: ScenarioSpec, seed: Optional[int] = None) -> None:
+        self.spec = spec
+        self.seed = spec.seed if seed is None else seed
+        self._experiment = ExperimentRunner(spec.to_setup(seed=self.seed))
+        self._churn_model = build_churn_model(spec.churn_model)
+        self._fault_model = build_fault_model(spec.fault_model)
+        #: injectors attached to the most recent flower run (diagnostics)
+        self.last_injectors: List[object] = []
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec, seed: Optional[int] = None) -> "Session":
+        """A session for an explicit spec (the canonical constructor)."""
+        return cls(spec, seed=seed)
+
+    @classmethod
+    def from_name(
+        cls,
+        name: str,
+        seed: Optional[int] = None,
+        scale: Optional[float] = None,
+    ) -> "Session":
+        """A session for a registered library scenario, optionally rescaled."""
+        from repro.scenarios.library import get_scenario
+
+        spec = get_scenario(name)
+        if scale is not None and scale != 1.0:
+            spec = spec.scaled(scale)
+        return cls(spec, seed=seed)
+
+    # -- the underlying layers ----------------------------------------------
+
+    @property
+    def setup(self) -> ExperimentSetup:
+        """The compiled low-level configuration this session runs."""
+        return self._experiment.setup
+
+    @property
+    def experiment(self) -> ExperimentRunner:
+        """The underlying driver (exposed for perf harnesses and tests)."""
+        return self._experiment
+
+    @property
+    def churn_model(self):
+        """The resolved churn-model instance (from the spec's registry ref)."""
+        return self._churn_model
+
+    @property
+    def fault_model(self):
+        """The resolved fault-model instance (from the spec's registry ref)."""
+        return self._fault_model
+
+    def resolved_trace(self):
+        """The shared resolved query trace (built once, array columns)."""
+        return self._experiment.resolved_trace()
+
+    def build_flower(self):
+        """A bootstrapped ``(simulator, FlowerCDN)`` pair for manual driving."""
+        return self._experiment.build_flower()
+
+    # -- execution ----------------------------------------------------------
+
+    def attach_models(self, system) -> List[object]:
+        """Attach the spec's churn/fault models to a built Flower system.
+
+        Returns the resulting injectors (each with ``start()``/``stop()``;
+        models that inject nothing contribute none) and records them as
+        :attr:`last_injectors`.  This is the single place the model-to-run
+        wiring lives: :meth:`run_system` goes through it, and so do harnesses
+        that drive the dispatch phase manually (e.g. the perf suite).
+        """
+        injectors = [
+            injector
+            for injector in (
+                self._churn_model.attach(system, self.spec),
+                self._fault_model.attach(system, self.spec),
+            )
+            if injector is not None
+        ]
+        self.last_injectors = injectors
+        return injectors
+
+    def run_system(self, system: str) -> RunResult:
+        """Run one of the spec's systems over the shared trace."""
+        if system == "flower":
+            return self._experiment.run_flower(attachments=(self.attach_models,))
+        if system == "squirrel":
+            return self._experiment.run_squirrel()
+        raise ValueError(f"unknown system {system!r}; expected 'flower' or 'squirrel'")
+
+    def run(self) -> ScenarioResult:
+        """Run every system the spec names and summarise (the main entry)."""
+        systems: Dict[str, object] = {}
+        for system in self.spec.systems:
+            run = self.run_system(system)
+            systems[system] = summarise_system(self.spec, system, run)
+        return ScenarioResult(spec=self.spec, seed=self.seed, systems=systems)

@@ -20,6 +20,7 @@ from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.sim.rng import RandomStreams
 from repro.workload.catalog import Catalog, ObjectId, Website
+from repro.workload.phases import segment_counts, spans_are_trivial
 from repro.workload.zipf import ZipfSampler
 
 
@@ -107,6 +108,14 @@ class QueryGenerator:
             site.name: ZipfSampler(site.num_objects, config.zipf_alpha, method="cdf")
             for site in self._active
         }
+        # Samplers for phased programs, keyed by (population, alpha); seeded
+        # with the base samplers so a program at the base skew reuses the
+        # exact instances (and therefore the exact u -> rank mapping) the
+        # single-phase path uses.
+        self._phase_samplers: Dict[tuple, ZipfSampler] = {
+            (site.num_objects, config.zipf_alpha): self._samplers[site.name]
+            for site in self._active
+        }
         self._next_id = 0
         # Bind the named streams once: next_query() draws from five streams
         # per query, and the per-call registry lookups dominate generation
@@ -192,7 +201,7 @@ class QueryGenerator:
             clock = query.time
             yield query
 
-    def generate_trace(self, duration_s: float, start_time: float = 0.0):
+    def generate_trace(self, duration_s: float, start_time: float = 0.0, phases=None):
         """Vectorised :meth:`generate`: the whole workload as array columns.
 
         Produces a :class:`~repro.workload.trace.QueryTraceArrays` whose
@@ -203,11 +212,20 @@ class QueryGenerator:
         ``random.Random`` instances: batching reorders draws *across* streams
         but never within one.  Like :meth:`generate`, the draw that first
         crosses the horizon is consumed (one extra draw per stream).
+
+        ``phases`` optionally supplies compiled
+        :class:`~repro.workload.phases.PhaseSpan` segments (a scenario
+        *program*): arrival rates are modulated per span and each query's
+        website/object draws use the span containing its arrival time.  A
+        trivial program (empty, or default spans only) takes this exact
+        single-phase path, so its draws stay byte-identical.
         """
         from repro.workload.trace import QueryTraceArrays
 
         if duration_s <= 0:
             raise ValueError("duration_s must be positive")
+        if phases and not spans_are_trivial(phases):
+            return self._generate_program_trace(tuple(phases), duration_s, start_time)
         cfg = self._config
         end = start_time + duration_s
         first_query_id = self._next_id
@@ -272,6 +290,161 @@ class QueryGenerator:
         n = len(times)
         return QueryTraceArrays(
             websites=tuple(self._active),
+            first_query_id=first_query_id,
+            times=times,
+            website_index=website_index[:n],
+            object_rank=object_rank[:n],
+            locality=locality[:n],
+            prefers_new=prefers_new[:n],
+        )
+
+    # -- phased programs ----------------------------------------------------
+
+    def _sampler_for(self, population: int, alpha: float) -> ZipfSampler:
+        """The (cached) cdf-method sampler for one ``(population, alpha)``."""
+        key = (population, alpha)
+        sampler = self._phase_samplers.get(key)
+        if sampler is None:
+            sampler = ZipfSampler(population, alpha, method="cdf")
+            self._phase_samplers[key] = sampler
+        return sampler
+
+    def _phase_window(self, rotation: int) -> List[Website]:
+        """The active-website window rotated ``rotation`` catalogue positions.
+
+        Rotation is applied modulo the catalogue size, so a program written
+        for the full catalogue stays valid when the spec is scaled down.
+        """
+        sites = self._catalog.websites
+        if rotation % len(sites) == 0:
+            return list(self._active)
+        count = len(self._active)
+        return [sites[(rotation + i) % len(sites)] for i in range(count)]
+
+    def _program_arrivals(self, spans, duration_s: float, start_time: float):
+        """Arrival times under per-span rate modulation (one shared stream).
+
+        Inside a span, inter-arrivals are exponential (or uniform) at
+        ``rate * span.rate_multiplier``.  A draw that crosses into a span
+        with a *different* multiplier has its residual rescaled by the rate
+        ratio — the exact inhomogeneous-Poisson construction, by
+        memorylessness.  When consecutive spans share a multiplier the draw
+        is passed through untouched, so homogeneous programs reproduce the
+        single-phase arrival sequence bit for bit.
+        """
+        cfg = self._config
+        rate = cfg.query_rate_per_s
+        poisson = cfg.arrival_process == "poisson"
+        expovariate = self._arrival_rng.expovariate
+        end = start_time + duration_s
+        times = array("d")
+        index = 0
+        current = spans[0]
+        boundary = start_time + current.end_s
+        clock = start_time
+        while True:
+            if poisson:
+                t = clock + expovariate(rate * current.rate_multiplier)
+            else:
+                t = clock + 1.0 / (rate * current.rate_multiplier)
+            while t >= boundary and index + 1 < len(spans):
+                nxt = spans[index + 1]
+                if nxt.rate_multiplier != current.rate_multiplier:
+                    t = boundary + (t - boundary) * (
+                        current.rate_multiplier / nxt.rate_multiplier
+                    )
+                index += 1
+                current = nxt
+                boundary = start_time + current.end_s
+            if t >= end:
+                break
+            times.append(t)
+            clock = t
+        return times
+
+    def _generate_program_trace(self, spans, duration_s: float, start_time: float):
+        """The phased-program counterpart of :meth:`generate_trace`.
+
+        Arrivals are generated in one pass across the spans; the remaining
+        four per-query draws are batched per span (each span's queries form a
+        contiguous index range of the sorted arrival sequence), using the
+        span's Zipf exponent and hotspot rotation.  With homogeneous spans
+        the per-span batches concatenate to exactly the full-trace batches of
+        the single-phase path, so the draw sequences — and the post-call
+        stream states — are byte-identical to an equivalent un-phased run.
+        """
+        from repro.workload.trace import QueryTraceArrays
+
+        cfg = self._config
+        first_query_id = self._next_id
+
+        # 1. Arrival stream.
+        times = self._program_arrivals(spans, duration_s, start_time)
+        counts = list(
+            segment_counts(times, [start_time + span.end_s for span in spans])
+        )
+        counts[-1] += 1  # the horizon-crossing draw belongs to the last span
+        count = len(times) + 1
+
+        # 2. Website stream: per-span windows mapped into one shared tuple of
+        #    every website the program references, kept in catalogue order.
+        windows = [self._phase_window(span.hotspot_rotation) for span in spans]
+        catalog_position = {site.name: i for i, site in enumerate(self._catalog.websites)}
+        used = sorted(
+            {catalog_position[site.name] for window in windows for site in window}
+        )
+        trace_websites = tuple(self._catalog.websites[i] for i in used)
+        trace_position = {self._catalog.websites[i].name: j for j, i in enumerate(used)}
+
+        website_choice = self._website_rng.choice
+        local_range = range(len(self._active))
+        website_index = array("H")
+        for window, seg_count in zip(windows, counts):
+            window_positions = [trace_position[site.name] for site in window]
+            website_index.extend(
+                window_positions[website_choice(local_range)] for _ in range(seg_count)
+            )
+
+        # 3. Zipf stream: per-span exponent; equal populations batch through
+        #    one sampler, unequal catalogues fall back to per-query sampling.
+        zipf_rng = self._zipf_rng
+        object_rank = array("I")
+        cursor = 0
+        for span, window, seg_count in zip(spans, windows, counts):
+            alpha = cfg.zipf_alpha if span.zipf_alpha is None else span.zipf_alpha
+            populations = {site.num_objects for site in window}
+            if len(populations) == 1:
+                sampler = self._sampler_for(populations.pop(), alpha)
+                object_rank.extend(sampler.sample_many(zipf_rng, seg_count))
+            else:
+                segment_sites = [
+                    trace_websites[website_index[cursor + offset]]
+                    for offset in range(seg_count)
+                ]
+                object_rank.extend(
+                    self._sampler_for(site.num_objects, alpha).sample(zipf_rng)
+                    for site in segment_sites
+                )
+            cursor += seg_count
+
+        # 4. Locality stream (phase-independent: one full batch, as in the
+        #    single-phase path).
+        if cfg.locality_weights:
+            locality = array("H", (self._pick_locality() for _ in range(count)))
+        else:
+            randint = self._locality_rng.randint
+            top = cfg.num_localities - 1
+            locality = array("H", (randint(0, top) for _ in range(count)))
+
+        # 5. Originator stream.
+        originator = self._originator_rng.random
+        bias = cfg.new_client_bias
+        prefers_new = array("b", (originator() < bias for _ in range(count)))
+
+        self._next_id += count
+        n = len(times)
+        return QueryTraceArrays(
+            websites=trace_websites,
             first_query_id=first_query_id,
             times=times,
             website_index=website_index[:n],

@@ -1,0 +1,118 @@
+"""Compiled workload phases: the execution-level view of a scenario program.
+
+A scenario *program* (an ordered tuple of declarative
+:class:`~repro.scenarios.program.WorkloadPhase` values) compiles down to a
+tuple of :class:`PhaseSpan` segments — absolute, contiguous ``[start_s,
+end_s)`` intervals carrying the effective workload parameters of that slice
+of the run.  The :class:`~repro.workload.generator.QueryGenerator` consumes
+spans directly: arrival rates are modulated per span (exact inhomogeneous
+Poisson via residual rescaling at the boundaries), and the per-query draws of
+a span use that span's Zipf exponent and hotspot rotation.
+
+The compiled representation deliberately lives in the workload layer, below
+:mod:`repro.scenarios`: the generator knows nothing about scenario specs,
+only about spans, which keeps the declarative vocabulary and the execution
+substrate independently testable.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PhaseSpan:
+    """One compiled, absolute segment of a phased workload.
+
+    ``rate_multiplier`` scales the configured aggregate query rate inside the
+    span; ``zipf_alpha`` overrides the workload's Zipf exponent (``None``
+    inherits it); ``hotspot_rotation`` rotates the active-website window by
+    that many positions through the catalogue (applied modulo the catalogue
+    size, so a spec stays valid when it is scaled down).
+    """
+
+    start_s: float
+    end_s: float
+    rate_multiplier: float = 1.0
+    zipf_alpha: float | None = None
+    hotspot_rotation: int = 0
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValueError("start_s must be non-negative")
+        if self.end_s <= self.start_s:
+            raise ValueError("end_s must exceed start_s")
+        if self.rate_multiplier <= 0:
+            raise ValueError("rate_multiplier must be positive")
+        if self.zipf_alpha is not None and self.zipf_alpha < 0:
+            raise ValueError("zipf_alpha must be non-negative or None")
+        if self.hotspot_rotation < 0:
+            raise ValueError("hotspot_rotation must be non-negative")
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def is_default(self) -> bool:
+        """True when the span does not modulate the base workload at all."""
+        return (
+            self.rate_multiplier == 1.0
+            and self.zipf_alpha is None
+            and self.hotspot_rotation == 0
+        )
+
+
+def validate_spans(spans: Sequence[PhaseSpan], duration_s: float) -> Tuple[PhaseSpan, ...]:
+    """Check that ``spans`` tile ``[0, duration_s)`` contiguously.
+
+    Returns the spans as a tuple.  An empty sequence is valid and means "one
+    implicit default span over the whole run".
+    """
+    spans = tuple(spans)
+    if not spans:
+        return spans
+    if spans[0].start_s != 0.0:
+        raise ValueError("the first phase span must start at 0")
+    for previous, current in zip(spans, spans[1:]):
+        if current.start_s != previous.end_s:
+            raise ValueError(
+                f"phase spans must be contiguous: span ending at {previous.end_s} "
+                f"is followed by span starting at {current.start_s}"
+            )
+    if spans[-1].end_s != duration_s:
+        raise ValueError(
+            f"phase spans must cover the whole run: last span ends at "
+            f"{spans[-1].end_s}, run duration is {duration_s}"
+        )
+    return spans
+
+
+def spans_are_trivial(spans: Sequence[PhaseSpan]) -> bool:
+    """True when ``spans`` describe exactly the unmodulated base workload.
+
+    A trivial program — empty, or default spans only — must take the
+    historical single-phase generation path so its random draws (and
+    therefore every committed golden) stay byte-identical.
+    """
+    return all(span.is_default for span in spans)
+
+
+def segment_counts(times: Sequence[float], ends: Sequence[float]) -> Tuple[int, ...]:
+    """How many of the sorted ``times`` fall into each contiguous segment.
+
+    ``ends`` holds the segment end times; segment ``i`` is the half-open
+    interval up to ``ends[i]`` (a time equal to a boundary belongs to the
+    *next* segment).  Times at or past the final end are counted into the
+    last segment (the horizon-crossing draw).
+    """
+    counts = []
+    previous = 0
+    for end in ends[:-1]:
+        index = bisect_left(times, end, lo=previous)
+        counts.append(index - previous)
+        previous = index
+    counts.append(len(times) - previous)
+    return tuple(counts)

@@ -82,3 +82,45 @@ class TestCommands:
         output = run_cli(["churn", *TINY])
         assert "Churn ablation" in output
         assert "with churn" in output
+
+
+class TestScenariosShow:
+    def test_show_prints_spec_program_and_models(self):
+        output = run_cli(["scenarios", "show", "adversarial-hotspots"])
+        assert "Scenario: adversarial-hotspots" in output
+        assert "Workload program" in output
+        assert "rotation" in output
+        assert "Churn model: poisson" in output
+        assert "Fault model: none" in output
+
+    def test_show_without_a_program_says_so(self):
+        output = run_cli(["scenarios", "show", "paper-default"])
+        assert "single stationary phase" in output
+
+    def test_show_names_the_fault_model(self):
+        output = run_cli(["scenarios", "show", "correlated-failures"])
+        assert "correlated-locality" in output
+        assert "at_fraction" in output
+
+    def test_show_json_is_machine_readable(self):
+        import json as _json
+
+        payload = _json.loads(run_cli(["scenarios", "show", "diurnal-cycle", "--json"]))
+        assert payload["name"] == "diurnal-cycle"
+        assert len(payload["compiled_program"]) == 4
+        assert payload["compiled_program"][-1]["end_s"] == payload["duration_s"]
+        assert payload["effective"]["warmup_s"] == 0.5 * payload["duration_s"]
+
+    def test_show_scale_rescales_the_resolved_spec(self):
+        import json as _json
+
+        payload = _json.loads(
+            run_cli(["scenarios", "show", "adversarial-hotspots", "--json", "--scale", "0.25"])
+        )
+        assert payload["duration_s"] == 1800.0
+        assert payload["compiled_program"][-1]["end_s"] == 1800.0
+
+    def test_show_unknown_scenario_is_a_clean_error(self, capsys):
+        code = cli.main(["scenarios", "show", "no-such-thing"], out=io.StringIO())
+        assert code == 2
+        assert "known scenarios" in capsys.readouterr().err

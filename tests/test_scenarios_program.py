@@ -1,0 +1,158 @@
+"""Tests for declarative scenario programs: WorkloadPhase, compilation, and
+their integration into ScenarioSpec (validation, scaling, serialisation,
+end-to-end determinism through the Session path)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.scenarios import (
+    ScenarioSpec,
+    WorkloadPhase,
+    compile_program,
+    get_scenario,
+    run_scenario,
+)
+from repro.scenarios.program import scale_program
+
+TINY_SCALE = 0.1
+
+
+class TestWorkloadPhase:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="duration_s"):
+            WorkloadPhase(duration_s=0.0)
+        with pytest.raises(ValueError, match="rate_multiplier"):
+            WorkloadPhase(rate_multiplier=-1.0)
+        with pytest.raises(ValueError, match="zipf_alpha"):
+            WorkloadPhase(zipf_alpha=-0.5)
+        with pytest.raises(ValueError, match="hotspot_rotation"):
+            WorkloadPhase(hotspot_rotation=-3)
+
+    def test_scaled_keeps_remainder_phases(self):
+        assert WorkloadPhase(duration_s=100.0).scaled(0.5).duration_s == 50.0
+        remainder = WorkloadPhase(rate_multiplier=2.0)
+        assert remainder.scaled(0.5) is remainder
+
+
+class TestCompileProgram:
+    def test_empty_program_compiles_to_no_spans(self):
+        assert compile_program((), 3600.0) == ()
+
+    def test_explicit_durations_must_tile_the_run(self):
+        phases = (WorkloadPhase(duration_s=1000.0), WorkloadPhase(duration_s=2600.0))
+        spans = compile_program(phases, 3600.0)
+        assert [(s.start_s, s.end_s) for s in spans] == [(0.0, 1000.0), (1000.0, 3600.0)]
+
+    def test_sum_mismatch_rejected(self):
+        phases = (WorkloadPhase(duration_s=1000.0), WorkloadPhase(duration_s=1000.0))
+        with pytest.raises(ValueError, match="sum to the run duration"):
+            compile_program(phases, 3600.0)
+
+    def test_trailing_none_absorbs_the_remainder(self):
+        phases = (WorkloadPhase(duration_s=1000.0), WorkloadPhase())
+        spans = compile_program(phases, 3600.0)
+        assert spans[-1].end_s == 3600.0
+
+    def test_none_duration_only_allowed_last(self):
+        phases = (WorkloadPhase(), WorkloadPhase(duration_s=1000.0))
+        with pytest.raises(ValueError, match="final phase"):
+            compile_program(phases, 3600.0)
+
+    def test_overlong_program_rejected(self):
+        phases = (WorkloadPhase(duration_s=4000.0), WorkloadPhase())
+        with pytest.raises(ValueError):
+            compile_program(phases, 3600.0)
+
+    def test_modulation_carried_into_spans(self):
+        phases = (
+            WorkloadPhase(duration_s=600.0, rate_multiplier=2.0, zipf_alpha=1.1,
+                          hotspot_rotation=5),
+            WorkloadPhase(),
+        )
+        span = compile_program(phases, 3600.0)[0]
+        assert span.rate_multiplier == 2.0
+        assert span.zipf_alpha == 1.1
+        assert span.hotspot_rotation == 5
+
+    def test_scale_program(self):
+        phases = (WorkloadPhase(duration_s=100.0), WorkloadPhase())
+        scaled = scale_program(phases, 0.25)
+        assert scaled[0].duration_s == 25.0
+        assert scaled[1].duration_s is None
+
+
+class TestSpecIntegration:
+    def test_spec_validates_program_eagerly(self):
+        with pytest.raises(ValueError, match="sum to the run duration"):
+            ScenarioSpec(
+                name="bad-program",
+                duration_s=3600.0,
+                program=(WorkloadPhase(duration_s=100.0),),
+            )
+
+    def test_scaled_rescales_phase_durations_with_the_run(self):
+        spec = get_scenario("adversarial-hotspots")
+        small = spec.scaled(0.25)
+        spans = small.compiled_program()
+        assert spans[-1].end_s == small.duration_s
+        # Phase shares of the run are preserved.
+        base_spans = spec.compiled_program()
+        for before, after in zip(base_spans, spans):
+            assert after.duration_s / small.duration_s == pytest.approx(
+                before.duration_s / spec.duration_s
+            )
+
+    def test_scaled_below_the_duration_floor_still_tiles(self):
+        # The 900 s duration floor changes the effective factor; phases must
+        # still tile the clamped run exactly.
+        spec = get_scenario("diurnal-cycle").scaled(0.01)
+        assert spec.duration_s == 900.0
+        assert spec.compiled_program()[-1].end_s == 900.0
+        spec.to_setup()
+
+    def test_to_dict_serialises_the_program(self):
+        payload = json.loads(json.dumps(get_scenario("diurnal-cycle").to_dict()))
+        assert len(payload["program"]) == 4
+        assert payload["program"][2]["rate_multiplier"] == 2.5
+        assert payload["churn_model"]["name"] == "poisson"
+
+    def test_setup_carries_compiled_phases(self):
+        spec = get_scenario("adversarial-hotspots")
+        setup = spec.to_setup()
+        assert len(setup.phases) == 4
+        assert setup.phases == spec.compiled_program()
+
+    def test_flat_spec_has_no_phases(self):
+        assert get_scenario("paper-default").to_setup().phases == ()
+
+
+class TestProgramScenariosEndToEnd:
+    def test_homogeneous_program_run_matches_flat_run_exactly(self):
+        """Splitting a stationary spec at T changes nothing downstream."""
+        flat = get_scenario("paper-default").scaled(TINY_SCALE)
+        split = dataclasses.replace(
+            flat,
+            program=(WorkloadPhase(duration_s=flat.duration_s / 3), WorkloadPhase()),
+        )
+        flat_digest = run_scenario(flat, seed=7).metrics_digest()
+        split_digest = run_scenario(split, seed=7).metrics_digest()
+        assert flat_digest == split_digest
+
+    def test_phased_scenarios_differ_from_their_flat_twin(self):
+        spec = get_scenario("diurnal-cycle").scaled(TINY_SCALE)
+        flat = dataclasses.replace(spec, program=())
+        phased = run_scenario(spec, seed=7)
+        stationary = run_scenario(flat, seed=7)
+        assert (
+            phased.flower.metrics["num_queries"]
+            != stationary.flower.metrics["num_queries"]
+        )
+
+    def test_rotation_hits_websites_outside_the_base_window(self):
+        spec = get_scenario("adversarial-hotspots").scaled(0.25)
+        session_result = run_scenario(spec, seed=7)
+        run = session_result.flower.run
+        websites = {record.website for record in run.metrics.records}
+        assert len(websites) > spec.active_websites

@@ -38,6 +38,11 @@ EXPECTED_LIBRARY = {
     "large-catalog",
     "multi-locality",
     "gossip-starved",
+    # scenario-program workloads (phased / faulted / cache-bounded)
+    "adversarial-hotspots",
+    "diurnal-cycle",
+    "correlated-failures",
+    "cache-bounded-peers",
 }
 
 
