@@ -7,6 +7,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test goldens check-goldens goldens-paper check-goldens-paper \
+        goldens-sweeps check-goldens-sweeps sweep-smoke sweeps \
         bench-smoke bench scenarios api-surface api-surface-update \
         perf perf-check perf-baseline perf-paper
 
@@ -58,6 +59,23 @@ perf-baseline:
 ## perf suite including the end-to-end paper-scale benchmark (minutes)
 perf-paper:
 	$(PYTHON) -m repro.cli perf --paper-scale
+
+## list the registered parameter sweeps
+sweeps:
+	$(PYTHON) -m repro.cli sweep list
+
+## regenerate the committed sweep goldens (tests/goldens/sweeps/)
+goldens-sweeps:
+	$(PYTHON) -m repro.sweeps.golden --update --jobs 4
+
+## verify the committed sweep goldens (also covered by `make test`)
+check-goldens-sweeps:
+	$(PYTHON) -m repro.sweeps.golden --jobs 4
+
+## small sweep grid across 2 workers with artifact export (what CI runs)
+sweep-smoke:
+	$(PYTHON) -m repro.cli sweep run table2a-gossip-length \
+		--scale 0.1 --jobs 2 --out sweep-artifacts --table
 
 ## regenerate the nightly paper-scale goldens (full Table 1 runs; minutes each)
 goldens-paper:

@@ -26,6 +26,14 @@ from repro.experiments.driver import ExperimentSetup  # noqa: E402
 from repro.scenarios.library import get_scenario  # noqa: E402
 from repro.scenarios.spec import ScenarioSpec  # noqa: E402
 from repro.session import Session  # noqa: E402
+from repro.sweeps.engine import SweepResult, run_sweep  # noqa: E402
+from repro.sweeps.library import get_sweep  # noqa: E402
+
+#: the paper-scale counterpart of each sweep base (what --paper-scale swaps in)
+FULL_SCALE_BASES = {
+    "paper-default": "paper-default-full-scale",
+    "squirrel-head-to-head": "squirrel-head-to-head-full-scale",
+}
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:
@@ -59,6 +67,28 @@ def bench_setup(
     if request.config.getoption("--paper-scale"):
         return Session.from_name("paper-default-full-scale", seed=42).setup
     return Session.from_spec(bench_scenario).setup
+
+
+@pytest.fixture(scope="session")
+def run_registered_sweep(request: pytest.FixtureRequest):
+    """Run a sweep from the registry at the harness's scale.
+
+    The sweep benchmarks (Table 2, the ablations, Figure 6) source their
+    whole grid from :mod:`repro.sweeps.library`; ``--paper-scale`` swaps the
+    base scenario for its full Table 1 counterpart.  Runs are sequential so
+    each cell keeps its full :class:`ScenarioResult` attached (the Figure 6
+    harness asserts on the time series).
+    """
+    paper_scale = request.config.getoption("--paper-scale")
+
+    def run(name: str) -> SweepResult:
+        sweep = get_sweep(name)
+        if paper_scale:
+            base = get_scenario(FULL_SCALE_BASES[sweep.base])
+            return run_sweep(sweep, base_spec=base)
+        return run_sweep(sweep)
+
+    return run
 
 
 @pytest.fixture

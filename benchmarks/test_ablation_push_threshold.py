@@ -5,29 +5,25 @@ results which illustrate similar performance (i.e., almost same gains and
 same trade-off) for different values of push threshold (0.1; 0.5; 0.7)".
 
 Expected shape here: hit ratio and background bandwidth are essentially
-insensitive to the push threshold.
+insensitive to the push threshold.  The grid is sourced from the sweep
+registry (``ablation-push-threshold``).
 """
 
-from repro.experiments.gossip_tradeoff import (
-    PAPER_PUSH_THRESHOLDS,
-    format_sweep,
-    run_push_threshold_sweep,
-)
+from repro.sweeps.artifacts import format_sweep_result
 
 
-def test_ablation_push_threshold(benchmark, bench_setup, report):
-    rows = benchmark.pedantic(
-        run_push_threshold_sweep,
-        args=(bench_setup,),
-        kwargs={"values": PAPER_PUSH_THRESHOLDS},
+def test_ablation_push_threshold(benchmark, run_registered_sweep, report):
+    result = benchmark.pedantic(
+        run_registered_sweep,
+        args=("ablation-push-threshold",),
         rounds=1,
         iterations=1,
     )
 
-    report(format_sweep(rows, "Ablation: varying the push threshold (0.1 / 0.5 / 0.7)"))
+    report(format_sweep_result(result))
 
-    hit_ratios = [row.hit_ratio for row in rows]
-    bandwidths = [row.background_bps for row in rows]
+    hit_ratios = result.series("hit_ratio")
+    bandwidths = result.series("background_bps_per_peer")
 
     # "Almost same gains and same trade-off" across thresholds.
     assert max(hit_ratios) - min(hit_ratios) < 0.1

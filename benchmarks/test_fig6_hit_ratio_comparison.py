@@ -6,28 +6,39 @@ Flower-CDN trails Squirrel by about 13%.
 
 Expected shape here: both cumulative curves rise, Squirrel's final hit ratio
 is at least Flower-CDN's, and Flower-CDN still reaches a useful hit ratio.
+The single-cell grid is sourced from the sweep registry
+(``fig6-hit-ratio-comparison``); both systems process the exact same trace.
 """
 
-from repro.experiments.comparison import run_hit_ratio_comparison
+from repro.sweeps.artifacts import format_sweep_result
 
 
-def test_fig6_hit_ratio_flower_vs_squirrel(benchmark, bench_setup, report):
+def test_fig6_hit_ratio_flower_vs_squirrel(benchmark, run_registered_sweep, report):
     result = benchmark.pedantic(
-        run_hit_ratio_comparison, args=(bench_setup,), rounds=1, iterations=1
+        run_registered_sweep,
+        args=("fig6-hit-ratio-comparison",),
+        rounds=1,
+        iterations=1,
     )
 
-    report(result.format())
+    report(format_sweep_result(result))
+
+    (cell,) = result.cells
+    flower_final = cell.metric("hit_ratio", system="flower")
+    squirrel_final = cell.metric("hit_ratio", system="squirrel")
 
     # Squirrel converges faster / higher (the paper's 13% gap after 24 h).
-    assert result.squirrel_final >= result.flower_final
-    assert 0.0 <= result.final_gap <= 0.5
+    assert squirrel_final >= flower_final
+    assert 0.0 <= squirrel_final - flower_final <= 0.5
 
-    # Both curves rise over time.
-    flower_values = [value for _, value in result.flower_curve]
-    squirrel_values = [value for _, value in result.squirrel_curve]
+    # Both cumulative curves rise over time (sequential sweep runs keep the
+    # full ScenarioResult attached, series included).
+    scenario = cell.result
+    flower_values = [v for _, v in scenario.flower.series["hit_ratio_cumulative"]]
+    squirrel_values = [v for _, v in scenario.squirrel.series["hit_ratio_cumulative"]]
     assert flower_values[-1] > flower_values[0]
     assert squirrel_values[-1] >= squirrel_values[0]
 
     # Flower-CDN still relieves the origin server for the majority of queries
     # by the end of the (scaled) run.
-    assert result.flower_final > 0.5
+    assert flower_final > 0.5

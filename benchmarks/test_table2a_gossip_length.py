@@ -8,34 +8,33 @@ Paper reference (24 h, PeerSim):
     20        0.89        147 bps
 
 Expected shape: bandwidth grows roughly linearly with Lgossip (×4 from 5 to
-20 in the paper) while the hit ratio improves only marginally.
+20 in the paper) while the hit ratio improves only marginally.  The grid is
+sourced from the sweep registry (``table2a-gossip-length``), the same sweep
+``repro sweep run`` executes and the sweep goldens pin.
 """
 
-from repro.experiments.gossip_tradeoff import (
-    PAPER_GOSSIP_LENGTHS,
-    format_sweep,
-    run_gossip_length_sweep,
-)
+from repro.sweeps.artifacts import format_sweep_result
 
 
-def test_table2a_gossip_length_sweep(benchmark, bench_setup, report):
-    rows = benchmark.pedantic(
-        run_gossip_length_sweep,
-        args=(bench_setup,),
-        kwargs={"values": PAPER_GOSSIP_LENGTHS},
+def test_table2a_gossip_length_sweep(benchmark, run_registered_sweep, report):
+    result = benchmark.pedantic(
+        run_registered_sweep,
+        args=("table2a-gossip-length",),
         rounds=1,
         iterations=1,
     )
 
-    report(format_sweep(rows, "Table 2(a): varying Lgossip (Tgossip = 30 min, Vgossip = 50)"))
+    report(format_sweep_result(result))
 
-    by_value = {row.value: row for row in rows}
-    short, medium, long = by_value[5], by_value[10], by_value[20]
+    short = result.cell(gossip_length=5)
+    medium = result.cell(gossip_length=10)
+    long = result.cell(gossip_length=20)
 
     # Bandwidth grows with the gossip length, roughly linearly.
-    assert short.background_bps < medium.background_bps < long.background_bps
-    assert long.background_bps / short.background_bps > 2.0
+    bandwidth = lambda cell: cell.metric("background_bps_per_peer")  # noqa: E731
+    assert bandwidth(short) < bandwidth(medium) < bandwidth(long)
+    assert bandwidth(long) / bandwidth(short) > 2.0
 
     # The hit ratio gain is positive but modest (paper: +0.067 from 5 to 20).
-    assert long.hit_ratio >= short.hit_ratio - 0.02
-    assert long.hit_ratio - short.hit_ratio < 0.25
+    assert long.metric("hit_ratio") >= short.metric("hit_ratio") - 0.02
+    assert long.metric("hit_ratio") - short.metric("hit_ratio") < 0.25

@@ -8,34 +8,33 @@ Paper reference (24 h, PeerSim):
     1 hour    0.81        37 bps
 
 Expected shape: lengthening the gossip period reduces bandwidth by a large
-factor (×60 from 1 min to 1 h in the paper) and costs some hit ratio.
+factor (×60 from 1 min to 1 h in the paper) and costs some hit ratio.  The
+grid is sourced from the sweep registry (``table2b-gossip-period``).
 """
 
-from repro.experiments.gossip_tradeoff import (
-    PAPER_GOSSIP_PERIODS_S,
-    format_sweep,
-    run_gossip_period_sweep,
-)
+from repro.sweeps.artifacts import format_sweep_result
 
 
-def test_table2b_gossip_period_sweep(benchmark, bench_setup, report):
-    rows = benchmark.pedantic(
-        run_gossip_period_sweep,
-        args=(bench_setup,),
-        kwargs={"values": PAPER_GOSSIP_PERIODS_S},
+def test_table2b_gossip_period_sweep(benchmark, run_registered_sweep, report):
+    result = benchmark.pedantic(
+        run_registered_sweep,
+        args=("table2b-gossip-period",),
         rounds=1,
         iterations=1,
     )
 
-    report(format_sweep(rows, "Table 2(b): varying Tgossip (Lgossip = 10, Vgossip = 50)"))
+    report(format_sweep_result(result))
 
-    by_value = {row.value: row for row in rows}
-    fast, medium, slow = by_value[60.0], by_value[1800.0], by_value[3600.0]
+    fast = result.cell(gossip_period_s=60.0)
+    medium = result.cell(gossip_period_s=1800.0)
+    slow = result.cell(gossip_period_s=3600.0)
 
     # Gossiping every minute costs far more bandwidth than every hour.
-    assert fast.background_bps > medium.background_bps > slow.background_bps
-    assert fast.background_bps / slow.background_bps > 10.0
+    bandwidth = lambda cell: cell.metric("background_bps_per_peer")  # noqa: E731
+    assert bandwidth(fast) > bandwidth(medium) > bandwidth(slow)
+    assert bandwidth(fast) / bandwidth(slow) > 10.0
 
     # The hit ratio degrades as gossip becomes less frequent.
-    assert fast.hit_ratio >= medium.hit_ratio >= slow.hit_ratio - 0.02
-    assert fast.hit_ratio > slow.hit_ratio
+    hit = lambda cell: cell.metric("hit_ratio")  # noqa: E731
+    assert hit(fast) >= hit(medium) >= hit(slow) - 0.02
+    assert hit(fast) > hit(slow)

@@ -9,38 +9,37 @@ Paper reference (24 h, PeerSim):
 
 Expected shape: the view size does not change the amount of information
 exchanged per round, so bandwidth stays flat; the hit ratio improves slightly
-with a larger view and saturates once the view covers the overlay.
+with a larger view and saturates once the view covers the overlay.  The grid
+is sourced from the sweep registry (``table2c-view-size``).
 """
 
 import pytest
 
-from repro.experiments.gossip_tradeoff import (
-    PAPER_VIEW_SIZES,
-    format_sweep,
-    run_view_size_sweep,
-)
+from repro.sweeps.artifacts import format_sweep_result
 
 
-def test_table2c_view_size_sweep(benchmark, bench_setup, report):
-    rows = benchmark.pedantic(
-        run_view_size_sweep,
-        args=(bench_setup,),
-        kwargs={"values": PAPER_VIEW_SIZES},
+def test_table2c_view_size_sweep(benchmark, run_registered_sweep, report):
+    result = benchmark.pedantic(
+        run_registered_sweep,
+        args=("table2c-view-size",),
         rounds=1,
         iterations=1,
     )
 
-    report(format_sweep(rows, "Table 2(c): varying Vgossip (Lgossip = 10, Tgossip = 30 min)"))
+    report(format_sweep_result(result))
 
-    by_value = {row.value: row for row in rows}
-    small, medium, large = by_value[20], by_value[50], by_value[70]
+    small = result.cell(view_size=20)
+    medium = result.cell(view_size=50)
+    large = result.cell(view_size=70)
 
     # Bandwidth is unaffected by the view size (storage-only cost); only the
     # second-order effect of slightly different push batches remains.
-    assert small.background_bps == pytest.approx(medium.background_bps, rel=0.05)
-    assert medium.background_bps == pytest.approx(large.background_bps, rel=0.05)
+    bandwidth = lambda cell: cell.metric("background_bps_per_peer")  # noqa: E731
+    assert bandwidth(small) == pytest.approx(bandwidth(medium), rel=0.05)
+    assert bandwidth(medium) == pytest.approx(bandwidth(large), rel=0.05)
 
     # The hit ratio does not degrade with a larger view; differences are small
     # (the paper reports +0.083 from 20 to 70 contacts).
-    assert large.hit_ratio >= small.hit_ratio - 0.03
-    assert abs(large.hit_ratio - medium.hit_ratio) < 0.05
+    hit = lambda cell: cell.metric("hit_ratio")  # noqa: E731
+    assert hit(large) >= hit(small) - 0.03
+    assert abs(hit(large) - hit(medium)) < 0.05

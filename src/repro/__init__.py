@@ -15,7 +15,9 @@ The package is organised bottom-up:
   background-traffic collectors;
 * :mod:`repro.experiments` — the harness regenerating every table and figure;
 * :mod:`repro.scenarios` — declarative named scenarios, the deterministic
-  scenario runner and the golden-metrics regression facility.
+  scenario runner and the golden-metrics regression facility;
+* :mod:`repro.sweeps` — declarative parameter sweeps over the scenario
+  library (grids, parallel cell execution, sweep goldens, artifacts).
 
 Quickstart (the :class:`~repro.session.Session` facade is the public entry
 point; see ``docs/api.md``)::

@@ -4,10 +4,14 @@ Usage (after installation)::
 
     python -m repro.cli run        [options]   # one Flower-CDN run, headline metrics
     python -m repro.cli compare    [options]   # Flower-CDN vs Squirrel on the same trace
-    python -m repro.cli sweep      [options]   # the Table 2 gossip sweeps
     python -m repro.cli churn      [options]   # churn ablation (Section 5 mechanisms)
     python -m repro.cli scenarios list         # the named scenario library
     python -m repro.cli scenarios run NAME     # run one scenario, print metrics JSON
+    python -m repro.cli sweep list             # the registered parameter sweeps
+    python -m repro.cli sweep run NAME         # run one sweep grid (--jobs N, --out DIR)
+
+``sweep`` without a verb (flag-style options only) remains reachable as the
+deprecated legacy Table 2 runner.
 
 The experiment commands accept the scale options (``--duration-hours``,
 ``--query-rate``, ``--websites``, ``--active-websites``, ``--objects``,
@@ -48,6 +52,10 @@ from repro.scenarios import parallel as parallel_module
 from repro.scenarios.library import get_scenario, iter_scenarios
 from repro.scenarios.runner import run_scenario
 from repro.scenarios.spec import ScenarioSpec
+from repro.sweeps import artifacts as sweep_artifacts
+from repro.sweeps import golden as sweep_golden
+from repro.sweeps.engine import run_sweep
+from repro.sweeps.library import get_sweep, iter_sweeps
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,11 +67,56 @@ def build_parser() -> argparse.ArgumentParser:
     for name, help_text in (
         ("run", "run Flower-CDN once and print the headline metrics"),
         ("compare", "run Flower-CDN and Squirrel on the same trace (Figures 6-8)"),
-        ("sweep", "run the Table 2 gossip parameter sweeps"),
         ("churn", "run the churn ablation (Section 5 mechanisms)"),
     ):
         sub = subparsers.add_parser(name, help=help_text)
         _add_scale_options(sub)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="list, show or run the registered parameter sweeps "
+             "(flag-only invocation is the deprecated legacy Table 2 runner)",
+    )
+    # Legacy flag-style options: `repro sweep --duration-hours ...` (no verb)
+    # remains reachable as a deprecated alias of the historic Table 2 runner.
+    # Defaults are suppressed so legacy flags typed before a verb are
+    # detected and rejected instead of silently discarded.
+    _add_scale_options(sweep, suppress_defaults=True)
+    sweep_verbs = sweep.add_subparsers(dest="verb")
+    sweep_verbs.add_parser("list", help="list the sweep registry")
+    sweep_show = sweep_verbs.add_parser(
+        "show", help="print one sweep's axes and compiled grid"
+    )
+    sweep_show.add_argument("name", help="sweep name (see `sweep list`)")
+    sweep_show.add_argument("--scale", type=float, default=1.0,
+                            help="compile the grid at a ratio-preserving scale "
+                                 "(default 1.0)")
+    sweep_run = sweep_verbs.add_parser(
+        "run", help="run one registered sweep and print its result table"
+    )
+    sweep_run.add_argument("name", help="sweep name (see `sweep list`)")
+    sweep_run.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="worker processes over the grid cells "
+                                "(default 1; output is byte-identical)")
+    # dest differs from the legacy --seed so the two invocation styles can
+    # never clobber each other's namespace entries.
+    sweep_run.add_argument("--seed", dest="seed_override", type=int, default=None,
+                           help="override the base scenario's seed")
+    sweep_run.add_argument("--scale", type=float, default=1.0,
+                           help="ratio-preserving scale factor for the base "
+                                "scenario (default 1.0)")
+    sweep_run.add_argument("--out", type=str, default=None, metavar="DIR",
+                           help="additionally export artifacts "
+                                "(csv/json/md) into DIR")
+    sweep_run.add_argument("--table", action="store_true",
+                           help="print a human-readable table instead of the "
+                                "JSON digest")
+    sweep_run.add_argument("--check-golden", action="store_true",
+                           help="run at the pinned golden scale/seed and "
+                                "compare against the committed sweep golden")
+    sweep_run.add_argument("--update-goldens", "--update-golden",
+                           dest="update_goldens", action="store_true",
+                           help="rewrite the sweep's committed golden file")
 
     scenarios = subparsers.add_parser(
         "scenarios", help="list, show or run the named scenarios of the library"
@@ -143,18 +196,47 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_scale_options(parser: argparse.ArgumentParser) -> None:
+#: the legacy scale options and their defaults (dest name -> default value)
+SCALE_OPTION_DEFAULTS = {
+    "paper_scale": False,
+    "duration_hours": 3.0,
+    "query_rate": 2.0,
+    "websites": 20,
+    "active_websites": 2,
+    "objects": 200,
+    "localities": 3,
+    "overlay_size": 40,
+    "hosts": 600,
+    "seed": 42,
+}
+
+
+def _add_scale_options(
+    parser: argparse.ArgumentParser, suppress_defaults: bool = False
+) -> None:
+    """Add the classic experiment scale options.
+
+    ``suppress_defaults=True`` registers them with ``argparse.SUPPRESS``
+    defaults so an option only appears on the namespace when the user typed
+    it — the ``sweep`` command needs that to tell its deprecated flag-style
+    legacy form apart from the verb-style form (and to *reject*, rather than
+    silently drop, legacy flags placed before a verb).
+    """
+    def default(name: str):
+        return argparse.SUPPRESS if suppress_defaults else SCALE_OPTION_DEFAULTS[name]
+
     parser.add_argument("--paper-scale", action="store_true",
+                        default=default("paper_scale"),
                         help="use the paper's full Table 1 configuration (slow)")
-    parser.add_argument("--duration-hours", type=float, default=3.0)
-    parser.add_argument("--query-rate", type=float, default=2.0)
-    parser.add_argument("--websites", type=int, default=20)
-    parser.add_argument("--active-websites", type=int, default=2)
-    parser.add_argument("--objects", type=int, default=200)
-    parser.add_argument("--localities", type=int, default=3)
-    parser.add_argument("--overlay-size", type=int, default=40)
-    parser.add_argument("--hosts", type=int, default=600)
-    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--duration-hours", type=float, default=default("duration_hours"))
+    parser.add_argument("--query-rate", type=float, default=default("query_rate"))
+    parser.add_argument("--websites", type=int, default=default("websites"))
+    parser.add_argument("--active-websites", type=int, default=default("active_websites"))
+    parser.add_argument("--objects", type=int, default=default("objects"))
+    parser.add_argument("--localities", type=int, default=default("localities"))
+    parser.add_argument("--overlay-size", type=int, default=default("overlay_size"))
+    parser.add_argument("--hosts", type=int, default=default("hosts"))
+    parser.add_argument("--seed", type=int, default=default("seed"))
 
 
 def setup_from_args(args: argparse.Namespace) -> ExperimentSetup:
@@ -218,7 +300,7 @@ def _command_compare(setup: ExperimentSetup, out) -> int:
     return 0
 
 
-def _command_sweep(setup: ExperimentSetup, out) -> int:
+def _command_sweep_legacy(setup: ExperimentSetup, out) -> int:
     print(format_sweep(run_gossip_length_sweep(setup), "Table 2(a): varying Lgossip"), file=out)
     print(file=out)
     print(
@@ -231,6 +313,167 @@ def _command_sweep(setup: ExperimentSetup, out) -> int:
     print(file=out)
     print(format_sweep(run_view_size_sweep(setup), "Table 2(c): varying Vgossip"), file=out)
     return 0
+
+
+# -- the `sweep` command ----------------------------------------------------------------
+
+
+def _command_sweep_list(out) -> int:
+    rows = []
+    for sweep in iter_sweeps():
+        grid = "x".join(str(side) for side in sweep.grid_shape) or "1"
+        rows.append(
+            (
+                sweep.name,
+                sweep.base,
+                grid,
+                sweep.num_cells,
+                sweep.seed_policy,
+                sweep.description,
+            )
+        )
+    print(
+        format_table(
+            ["sweep", "base", "grid", "cells", "seeds", "description"],
+            rows,
+            title="Sweep registry",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _command_sweep_show(args: argparse.Namespace, out) -> int:
+    try:
+        sweep = get_sweep(args.name)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    if args.scale <= 0:
+        print("error: --scale must be positive", file=sys.stderr)
+        return 2
+    print(format_table(
+        ["field", "value"],
+        [
+            ("name", sweep.name),
+            ("base", sweep.base),
+            ("grid", "x".join(str(side) for side in sweep.grid_shape) or "1"),
+            ("cells", sweep.num_cells),
+            ("seed policy", sweep.seed_policy),
+        ],
+        title=f"Sweep: {sweep.name}",
+    ), file=out)
+    print(file=out)
+    print(f"  {sweep.description}", file=out)
+    print(file=out)
+    if sweep.axes:
+        axis_rows = [
+            (
+                axis.label,
+                ", ".join(axis.fields),
+                ", ".join(axis.display_value(i) for i in range(len(axis))),
+            )
+            for axis in sweep.axes
+        ]
+        print(format_table(["axis", "fields", "values"], axis_rows, title="Axes"),
+              file=out)
+        print(file=out)
+    compiled = sweep.compile(scale=None if args.scale == 1.0 else args.scale)
+    cell_rows = [
+        (
+            ",".join(str(i) for i in cell.coordinates) or "-",
+            " ".join(f"{label}={value}" for label, value in cell.labels) or "(base)",
+            cell.seed,
+        )
+        for cell in compiled.cells
+    ]
+    print(format_table(["cell", "assignments", "seed"], cell_rows,
+                       title=f"Compiled grid (base seed {compiled.base_seed}, "
+                             f"scale {compiled.scale:g})"), file=out)
+    return 0
+
+
+def _command_sweep_run(args: argparse.Namespace, out) -> int:
+    try:
+        get_sweep(args.name)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    if args.jobs <= 0:
+        print("error: --jobs must be positive", file=sys.stderr)
+        return 2
+    if args.check_golden and args.update_goldens:
+        print("error: --check-golden cannot be combined with --update-goldens",
+              file=sys.stderr)
+        return 2
+    if (args.update_goldens or args.check_golden) and (
+        args.seed_override is not None or args.scale != 1.0 or args.table
+        or args.out
+    ):
+        print(
+            "error: sweep goldens are pinned to the golden scale and seed; "
+            "--seed/--scale/--table/--out cannot be combined with "
+            "--check-golden/--update-goldens",
+            file=sys.stderr,
+        )
+        return 2
+    if args.update_goldens:
+        path = sweep_golden.write_sweep_golden(args.name, jobs=args.jobs)
+        print(f"updated {path}", file=out)
+        return 0
+    if args.check_golden:
+        return sweep_golden.main([args.name, "--jobs", str(args.jobs)], out=out)
+    if args.scale <= 0:
+        print("error: --scale must be positive", file=sys.stderr)
+        return 2
+    result = run_sweep(
+        args.name,
+        jobs=args.jobs,
+        seed=args.seed_override,
+        scale=None if args.scale == 1.0 else args.scale,
+    )
+    if args.out:
+        for path in sweep_artifacts.export_artifacts(result, Path(args.out)):
+            print(f"wrote {path}", file=out)
+    if args.table:
+        print(sweep_artifacts.format_sweep_result(result), file=out)
+    else:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True), file=out)
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace, out) -> int:
+    verb = getattr(args, "verb", None)
+    # The legacy options were registered with suppressed defaults, so an
+    # entry on the namespace means the user actually typed the flag.
+    legacy_given = [name for name in SCALE_OPTION_DEFAULTS if hasattr(args, name)]
+    if verb is None:
+        # Legacy flag-style invocation (pre-registry behaviour), kept
+        # reachable as a deprecation shim.
+        print(
+            "note: flag-style `repro sweep` is deprecated; use "
+            "`repro sweep run NAME` against the sweep registry "
+            "(`repro sweep list`)",
+            file=sys.stderr,
+        )
+        for name, value in SCALE_OPTION_DEFAULTS.items():
+            if not hasattr(args, name):
+                setattr(args, name, value)
+        return _command_sweep_legacy(setup_from_args(args), out)
+    if legacy_given:
+        flags = ", ".join("--" + name.replace("_", "-") for name in legacy_given)
+        print(
+            f"error: legacy scale option(s) {flags} cannot be combined with "
+            f"`sweep {verb}`; pass options after the verb "
+            f"(see `repro sweep {verb} --help`)",
+            file=sys.stderr,
+        )
+        return 2
+    if verb == "list":
+        return _command_sweep_list(out)
+    if verb == "show":
+        return _command_sweep_show(args, out)
+    return _command_sweep_run(args, out)
 
 
 def _command_churn(setup: ExperimentSetup, out) -> int:
@@ -555,11 +798,12 @@ def _dispatch(args: argparse.Namespace, out) -> int:
         return _command_scenarios_run(args, out)
     if args.command == "perf":
         return _command_perf(args, out)
+    if args.command == "sweep":
+        return _command_sweep(args, out)
     setup = setup_from_args(args)
     handlers = {
         "run": _command_run,
         "compare": _command_compare,
-        "sweep": _command_sweep,
         "churn": _command_churn,
     }
     return handlers[args.command](setup, out)

@@ -19,7 +19,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.config import FlowerConfig
 from repro.core.content_peer import ContentPeer, PushMessage
@@ -108,6 +108,13 @@ class FlowerCDN:
             config.summary_bits
         )
         self._gossip_subset_rng = sim.streams.stream("gossip:subset")
+        #: optional transit filter for gossip exchanges: a callable
+        #: ``(initiator, partner) -> bool`` consulted once per attempted
+        #: exchange; returning False drops the message in transit (no view
+        #: update, no bandwidth).  ``None`` (the default) costs one attribute
+        #: check per tick and keeps runs byte-identical — the hook the
+        #: "gossip-loss" fault model attaches through.
+        self.gossip_message_filter: Optional[Callable[[ContentPeer, ContentPeer], bool]] = None
         self.dring = DRing(self.keys, latency_callback=self._peer_latency, ring=substrate)
         self.metrics = MetricsCollector(
             window_s=config.metrics_window_s, retain_records=not compact_metrics
@@ -596,6 +603,13 @@ class FlowerCDN:
             partner = self._content_peers.get(partner_id)
             if partner is None or not partner.alive:
                 peer.forget_contact(partner_id)
+            elif (
+                self.gossip_message_filter is not None
+                and not self.gossip_message_filter(peer, partner)
+            ):
+                # Message lost in transit: neither side exchanges views and
+                # no bandwidth is accounted; ages were already incremented.
+                pass
             else:
                 rng = self._gossip_subset_rng
                 message = peer.build_gossip_message(rng=rng)

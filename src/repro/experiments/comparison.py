@@ -1,5 +1,12 @@
 """Figure 6: hit ratio over time, Flower-CDN versus Squirrel (Section 6.3).
 
+.. deprecated::
+    This module is a legacy shim.  The canonical Figure 6 comparison is the
+    ``fig6-hit-ratio-comparison`` sweep in :mod:`repro.sweeps.library`
+    (a single-cell grid over the ``squirrel-head-to-head`` scenario, golden-
+    checked per system); :func:`run_hit_ratio_comparison` remains for the
+    ``repro compare`` CLI and pre-sweep callers.
+
 Both systems process the exact same query trace.  The paper's observations,
 which the benchmark asserts as *shape*:
 

@@ -1,5 +1,16 @@
 """Table 2: the hit-ratio / gossip-bandwidth trade-off (Section 6.2).
 
+.. deprecated::
+    This module is a legacy shim.  The canonical Table 2 grids are the
+    registered sweeps in :mod:`repro.sweeps.library`
+    (``table2a-gossip-length``, ``table2b-gossip-period``,
+    ``table2c-view-size``, ``ablation-push-threshold``), executed with
+    ``repro sweep run NAME`` and pinned by the sweep goldens.  The
+    setup-based functions below remain only for the deprecated flag-style
+    ``repro sweep`` CLI and pre-sweep callers; the ``PAPER_*`` constants
+    defined here stay the single source of the paper's parameter values
+    (the sweep registry imports them).
+
 One sweep per gossip parameter:
 
 * Table 2(a) — gossip length ``Lgossip`` ∈ {5, 10, 20} with Tgossip = 30 min

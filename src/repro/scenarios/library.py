@@ -168,6 +168,20 @@ register_scenario(
 
 register_scenario(
     ScenarioSpec(
+        name="pastry-substrate",
+        description=(
+            "The paper-default workload with the D-ring running on the "
+            "Pastry substrate instead of Chord — exercising Section 3.1's "
+            "claim that D-ring integrates with any standard DHT.  Routing "
+            "paths differ from Chord, so this scenario pins the Pastry "
+            "overlay with its own golden."
+        ),
+        dht_substrate="pastry",
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
         name="gossip-starved",
         description=(
             "Knowledge dissemination nearly disabled: a 2-hour gossip period, "
@@ -285,6 +299,35 @@ PAPER_DEFAULT_FULL_SCALE = register_scenario(
         query_rate_per_s=6.0,
         duration_s=24 * HOUR,
         metrics_window_s=HOUR,
+        tier="paper-scale",
+        queue_backend="calendar",
+        compact_metrics=True,
+    )
+)
+
+
+#: the Figures 6-8 head-to-head at the genuine Table 1 scale: Flower-CDN and
+#: Squirrel replay the same 24-hour, ~517k-query trace.  Shipped in the
+#: nightly paper-scale tier now that Squirrel's replay dispatch is ~2.3x
+#: faster (PR 4); the golden is committed at scale 1.0.
+SQUIRREL_HEAD_TO_HEAD_FULL_SCALE = register_scenario(
+    ScenarioSpec(
+        name="squirrel-head-to-head-full-scale",
+        description=(
+            "Figures 6-8 at the genuine Table 1 scale: Flower-CDN and "
+            "Squirrel process the same 5000-host, 24-hour trace — the "
+            "paper-scale counterpart of squirrel-head-to-head."
+        ),
+        num_hosts=5000,
+        num_localities=6,
+        num_websites=100,
+        active_websites=6,
+        objects_per_website=500,
+        max_content_overlay_size=100,
+        query_rate_per_s=6.0,
+        duration_s=24 * HOUR,
+        metrics_window_s=HOUR,
+        systems=("flower", "squirrel"),
         tier="paper-scale",
         queue_backend="calendar",
         compact_metrics=True,

@@ -291,6 +291,70 @@ class ScheduledFaultInjector:
         self._events.clear()
 
 
+class GossipLossInjector:
+    """Drops gossip messages in transit with a fixed probability.
+
+    Attaches to the system's ``gossip_message_filter`` hook; drop decisions
+    draw from the dedicated ``"fault:gossip-loss"`` stream, so enabling the
+    model never perturbs any other random stream of the run.
+    """
+
+    def __init__(self, system, drop_probability: float) -> None:
+        self._system = system
+        self._drop_probability = drop_probability
+        self.dropped = 0
+        self.delivered = 0
+        self.log: List[ChurnLogEntry] = []
+
+    def start(self) -> None:
+        system = self._system
+        if system.gossip_message_filter is not None:
+            raise RuntimeError("another gossip-message filter is already attached")
+        stream = system.sim.streams.stream("fault:gossip-loss")
+        probability = self._drop_probability
+
+        def deliver(peer, partner) -> bool:
+            if stream.random() < probability:
+                self.dropped += 1
+                self.log.append(
+                    ChurnLogEntry(
+                        time=system.sim.now,
+                        kind="gossip_message_drop",
+                        target=peer.peer_id,
+                    )
+                )
+                return False
+            self.delivered += 1
+            return True
+
+        system.gossip_message_filter = deliver
+
+    def stop(self) -> None:
+        self._system.gossip_message_filter = None
+
+
+@register_fault_model("gossip-loss")
+class GossipLoss:
+    """Probabilistic gossip-message loss: each attempted gossip exchange is
+    dropped in transit with ``drop_probability`` — the lossy-network regime
+    the paper's reliable-delivery assumption glosses over.  Knowledge then
+    disseminates only through the surviving exchanges, stressing the same
+    view/summary machinery as ``gossip-starved`` but stochastically.
+    """
+
+    def __init__(self, drop_probability: float = 0.2) -> None:
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        self.drop_probability = drop_probability
+
+    def attach(self, system, spec):
+        if self.drop_probability == 0.0:
+            # No loss means no filter and no stream draws: the run stays
+            # byte-identical to the "none" fault model.
+            return None
+        return GossipLossInjector(system, self.drop_probability)
+
+
 @register_fault_model("correlated-locality")
 class CorrelatedLocalityFaults:
     """A correlated locality outage: at ``at_fraction`` of the run, a

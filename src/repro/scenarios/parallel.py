@@ -28,6 +28,27 @@ def default_jobs() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def map_tasks(fn, tasks: Sequence, jobs: Optional[int] = None) -> List:
+    """Map a picklable ``fn`` over ``tasks`` across ``jobs`` processes.
+
+    The shared fan-out primitive of the scenario *and* sweep runners:
+    results come back in task order regardless of completion order, and
+    ``jobs=1`` (or a single task) bypasses multiprocessing entirely so
+    single-job runs stay debuggable with short exception traces.  ``fn``
+    must be a module-level callable and ``tasks`` picklable values —
+    workers re-import :mod:`repro`, which is what makes parallel output
+    byte-identical to sequential output.
+    """
+    jobs = default_jobs() if jobs is None else jobs
+    if jobs <= 0:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    tasks = list(tasks)
+    if jobs == 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+        return pool.map(fn, tasks)
+
+
 # -- worker entry points (module-level for picklability) ----------------------
 
 
@@ -80,15 +101,7 @@ def run_scenarios(
     runs of the same ``(spec, seed, scale)``.
     """
     names = resolve_names(names)
-    jobs = default_jobs() if jobs is None else jobs
-    if jobs <= 0:
-        raise ValueError(f"jobs must be positive, got {jobs}")
-    tasks = [(name, seed, scale) for name in names]
-    if jobs == 1 or len(tasks) <= 1:
-        pairs = [_run_one(task) for task in tasks]
-    else:
-        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
-            pairs = pool.map(_run_one, tasks)
+    pairs = map_tasks(_run_one, [(name, seed, scale) for name in names], jobs=jobs)
     ordered = dict(pairs)
     return {name: ordered[name] for name in names}
 
@@ -98,13 +111,6 @@ def check_goldens(
 ) -> Dict[str, List[str]]:
     """Verify committed goldens in parallel; name -> list of mismatches."""
     names = resolve_names(names)
-    jobs = default_jobs() if jobs is None else jobs
-    if jobs <= 0:
-        raise ValueError(f"jobs must be positive, got {jobs}")
-    if jobs == 1 or len(names) <= 1:
-        pairs = [_check_one(name) for name in names]
-    else:
-        with multiprocessing.Pool(processes=min(jobs, len(names))) as pool:
-            pairs = pool.map(_check_one, names)
+    pairs = map_tasks(_check_one, names, jobs=jobs)
     ordered = dict(pairs)
     return {name: ordered[name] for name in names}

@@ -43,6 +43,8 @@ KNOWN_SYSTEMS = ("flower", "squirrel")
 KNOWN_TIERS = ("standard", "paper-scale")
 #: event-queue backends a scenario may pin (see repro.sim.engine)
 KNOWN_QUEUE_BACKENDS = ("heap", "calendar")
+#: DHT substrates the D-ring layer can run on (see repro.core.dring)
+KNOWN_DHT_SUBSTRATES = ("chord", "pastry")
 
 
 @dataclass(frozen=True)
@@ -146,6 +148,11 @@ class ScenarioSpec:
     #: event-queue backend the scenario's simulators use ("heap" | "calendar");
     #: both are byte-identical, the choice is purely a performance matter
     queue_backend: str = "heap"
+    #: DHT substrate under the D-ring ("chord", the paper's evaluation, or
+    #: "pastry", the other overlay named in Section 3.1) — unlike
+    #: queue_backend this *changes routing behaviour*, so substrate
+    #: scenarios carry their own goldens
+    dht_substrate: str = "chord"
     #: fold metrics into compact array reservoirs instead of retaining
     #: per-query records (the paper-scale memory mode)
     compact_metrics: bool = False
@@ -161,6 +168,11 @@ class ScenarioSpec:
             raise ValueError(
                 f"unknown queue backend {self.queue_backend!r}; "
                 f"expected one of {KNOWN_QUEUE_BACKENDS}"
+            )
+        if self.dht_substrate not in KNOWN_DHT_SUBSTRATES:
+            raise ValueError(
+                f"unknown DHT substrate {self.dht_substrate!r}; "
+                f"expected one of {KNOWN_DHT_SUBSTRATES}"
             )
         for system in self.systems:
             if system not in KNOWN_SYSTEMS:
@@ -237,6 +249,7 @@ class ScenarioSpec:
             max_content_overlay_size=self.max_content_overlay_size,
             content_cache_capacity=self.content_cache_capacity,
             locality_bits=self.locality_bits(),
+            dht_substrate=self.dht_substrate,
             gossip=GossipConfig(
                 gossip_period_s=self.gossip_period_s,
                 view_size=self.view_size,

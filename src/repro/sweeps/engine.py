@@ -1,0 +1,215 @@
+"""Sweep execution: a compiled grid in, a deterministic result table out.
+
+Every cell of a :class:`~repro.sweeps.spec.CompiledSweep` runs through the
+:class:`~repro.session.Session` facade — exactly the execution path of a
+single scenario run — and folds into a :class:`SweepResult`: per cell, the
+axis assignments, the seed, the per-system metric/phase blocks (rounded the
+same way scenario goldens are) and a SHA-256 digest of the cell's full
+metrics digest for byte-identity checks.
+
+Cells are independent deterministic functions of ``(spec, seed)``, so they
+parallelise over the existing process-pool machinery
+(:func:`repro.scenarios.parallel.map_tasks`); ``jobs=N`` output is
+byte-identical to sequential output.  Sequential runs additionally keep the
+full :class:`~repro.scenarios.runner.ScenarioResult` attached to each cell
+(``cell.result``) so in-process consumers — the benchmark suite needs the
+Figure 6 time series — can reach the layers below the digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.scenarios.golden import GOLDEN_PRECISION
+from repro.scenarios.parallel import map_tasks
+from repro.scenarios.runner import ScenarioResult
+from repro.scenarios.spec import ScenarioSpec
+from repro.session import Session
+from repro.sweeps.spec import CompiledSweep, SweepSpec
+
+__all__ = ["SweepCellResult", "SweepResult", "run_sweep"]
+
+#: headline metrics, in the order artifacts and tables present them; any
+#: further metrics a run reports (e.g. ``fraction_*``) follow alphabetically
+PREFERRED_METRIC_ORDER = (
+    "num_queries",
+    "hit_ratio",
+    "average_lookup_latency_ms",
+    "average_transfer_distance_ms",
+    "background_bps_per_peer",
+    "redirection_failures",
+    "average_overlay_hops",
+)
+
+
+@dataclass
+class SweepCellResult:
+    """One executed grid cell (serialisable; ``result`` rides along in-process)."""
+
+    coordinates: Tuple[int, ...]
+    labels: Tuple[Tuple[str, str], ...]
+    assignments: Dict[str, object]
+    seed: int
+    #: system name -> {"metrics": {...}, "phases": {...}} (golden-rounded)
+    systems: Dict[str, Dict[str, Dict[str, float]]]
+    #: SHA-256 of the cell's canonical metrics digest (byte-identity witness)
+    digest: str
+    result: Optional[ScenarioResult] = field(default=None, repr=False, compare=False)
+
+    def metric(self, metric: str, system: str = "flower") -> float:
+        return self.systems[system]["metrics"][metric]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "coordinates": list(self.coordinates),
+            "labels": [[label, value] for label, value in self.labels],
+            "assignments": dict(self.assignments),
+            "seed": self.seed,
+            "digest": self.digest,
+            "systems": self.systems,
+        }
+
+
+@dataclass
+class SweepResult:
+    """The structured outcome of one sweep run (the golden-file payload)."""
+
+    sweep: SweepSpec
+    base: str
+    base_seed: int
+    scale: float
+    cells: Tuple[SweepCellResult, ...]
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    def cell(self, **assignments: object) -> SweepCellResult:
+        """The unique cell whose assignments include all given pins."""
+        matches = [
+            cell
+            for cell in self.cells
+            if all(cell.assignments.get(key) == value for key, value in assignments.items())
+        ]
+        if len(matches) != 1:
+            raise KeyError(
+                f"{len(matches)} cells match {assignments!r} "
+                f"(sweep {self.sweep.name!r} has {len(self.cells)} cells)"
+            )
+        return matches[0]
+
+    def systems(self) -> List[str]:
+        """System names present in the cells, in first-seen order."""
+        seen: List[str] = []
+        for cell in self.cells:
+            for system in cell.systems:
+                if system not in seen:
+                    seen.append(system)
+        return seen
+
+    def metric_names(self, system: str) -> List[str]:
+        """Metric names of one system: preferred order first, rest sorted."""
+        present: set = set()
+        for cell in self.cells:
+            present.update(cell.systems.get(system, {}).get("metrics", {}))
+        ordered = [name for name in PREFERRED_METRIC_ORDER if name in present]
+        ordered.extend(sorted(present - set(ordered)))
+        return ordered
+
+    def series(self, metric: str, system: str = "flower") -> List[float]:
+        """One metric across all cells, in grid order."""
+        return [cell.metric(metric, system=system) for cell in self.cells]
+
+    def to_dict(self) -> Dict[str, object]:
+        """The canonical, JSON-serialisable sweep digest."""
+        return {
+            "sweep": self.sweep.name,
+            "base": self.base,
+            "base_seed": self.base_seed,
+            "scale": self.scale,
+            "seed_policy": self.sweep.seed_policy,
+            "axes": [axis.to_dict() for axis in self.sweep.axes],
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+
+# -- cell execution (module-level for picklability) ---------------------------
+
+
+def _cell_payload(result: ScenarioResult) -> Tuple[Dict[str, object], str]:
+    """Golden-rounded per-system blocks plus the cell's canonical SHA-256."""
+    digest = result.metrics_digest(precision=GOLDEN_PRECISION)
+    blob = json.dumps(digest, sort_keys=True)
+    return digest["systems"], hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _execute_cell_task(task: Tuple[ScenarioSpec, int]) -> Tuple[Dict[str, object], str]:
+    spec, seed = task
+    return _cell_payload(Session(spec, seed=seed).run())
+
+
+# -- public API ---------------------------------------------------------------
+
+
+def run_sweep(
+    sweep: Union[str, SweepSpec, CompiledSweep],
+    jobs: int = 1,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+    base_spec: Optional[ScenarioSpec] = None,
+) -> SweepResult:
+    """Run every cell of a sweep and fold the grid into a :class:`SweepResult`.
+
+    ``sweep`` may be a registered sweep name, a :class:`SweepSpec`, or an
+    already-compiled grid.  ``jobs=1`` (the default) runs sequentially and
+    keeps each cell's full :class:`ScenarioResult` attached; ``jobs=N``
+    fans the cells over a process pool with byte-identical ``to_dict()``
+    output.  ``seed``/``scale``/``base_spec`` are compile-time overrides
+    (ignored when ``sweep`` is already compiled).
+    """
+    if isinstance(sweep, str):
+        from repro.sweeps.library import get_sweep
+
+        sweep = get_sweep(sweep)
+    if isinstance(sweep, SweepSpec):
+        compiled = sweep.compile(base_spec=base_spec, seed=seed, scale=scale)
+    else:
+        compiled = sweep
+    if jobs is None:
+        jobs = 1
+    tasks = [(cell.spec, cell.seed) for cell in compiled.cells]
+    if jobs == 1 or len(tasks) <= 1:
+        outcomes = []
+        for spec, cell_seed in tasks:
+            result = Session(spec, seed=cell_seed).run()
+            systems, sha = _cell_payload(result)
+            outcomes.append((systems, sha, result))
+    else:
+        outcomes = [
+            (systems, sha, None)
+            for systems, sha in map_tasks(_execute_cell_task, tasks, jobs=jobs)
+        ]
+    cells = tuple(
+        SweepCellResult(
+            coordinates=cell.coordinates,
+            labels=cell.labels,
+            assignments=cell.assignment_dict(),
+            seed=cell.seed,
+            systems=systems,
+            digest=sha,
+            result=result,
+        )
+        for cell, (systems, sha, result) in zip(compiled.cells, outcomes)
+    )
+    return SweepResult(
+        sweep=compiled.sweep,
+        base=compiled.base_name,
+        base_seed=compiled.base_seed,
+        scale=compiled.scale,
+        cells=cells,
+    )

@@ -1,0 +1,221 @@
+"""Golden-checked sweep grids.
+
+Every registered sweep has a committed golden file
+(``tests/goldens/sweeps/<name>.json``) holding its full
+:meth:`~repro.sweeps.engine.SweepResult.to_dict` digest at the pinned golden
+scale and seed (the same 0.25 / 42 the scenario goldens use).  Verification
+re-runs the whole grid and compares **structure exactly** (cell count, axis
+assignments, per-cell seeds) and **metrics with the scenario-golden
+tolerances** — so a hot-path refactor is regression-checked across entire
+parameter families, not just single runs.  Per-cell SHA-256 digests are
+committed for byte-identity forensics but deliberately excluded from the
+tolerance comparison (a within-tolerance drift must not fail the gate
+twice).
+
+Workflow::
+
+    python -m repro.sweeps.golden                 # check all sweep goldens
+    python -m repro.sweeps.golden --update        # refresh after an
+                                                  # intentional change
+    python -m repro.cli sweep run NAME --check-golden
+
+``make goldens-sweeps`` / ``make check-goldens-sweeps`` wrap the two module
+invocations.  See ``docs/sweeps.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.scenarios.golden import GOLDEN_SCALE, GOLDEN_SEED, _compare_metric_block
+from repro.sweeps.engine import run_sweep
+from repro.sweeps.library import get_sweep, sweep_names
+
+__all__ = [
+    "SWEEP_GOLDEN_SCALE",
+    "default_sweep_golden_dir",
+    "sweep_golden_path",
+    "compute_sweep_digest",
+    "write_sweep_golden",
+    "load_sweep_golden",
+    "compare_sweep_digests",
+    "verify_sweep_golden",
+    "main",
+]
+
+#: sweep goldens are pinned to the scenario-golden scale (small enough that a
+#: whole grid re-runs in seconds, large enough to keep the paper's shape)
+SWEEP_GOLDEN_SCALE = GOLDEN_SCALE
+
+
+def default_sweep_golden_dir() -> Path:
+    """``tests/goldens/sweeps`` of this checkout (REPRO_SWEEP_GOLDEN_DIR overrides)."""
+    override = os.environ.get("REPRO_SWEEP_GOLDEN_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "tests" / "goldens" / "sweeps"
+
+
+def sweep_golden_path(name: str, golden_dir: Optional[Path] = None) -> Path:
+    directory = golden_dir if golden_dir is not None else default_sweep_golden_dir()
+    return directory / f"{name}.json"
+
+
+# -- producing digests --------------------------------------------------------
+
+
+def compute_sweep_digest(name: str, jobs: int = 1) -> Dict[str, object]:
+    """Run ``name`` at the pinned golden scale/seed; the digest to commit."""
+    result = run_sweep(name, jobs=jobs, seed=GOLDEN_SEED, scale=SWEEP_GOLDEN_SCALE)
+    return result.to_dict()
+
+
+def write_sweep_golden(
+    name: str, golden_dir: Optional[Path] = None, jobs: int = 1
+) -> Path:
+    path = sweep_golden_path(name, golden_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    digest = compute_sweep_digest(name, jobs=jobs)
+    path.write_text(json.dumps(digest, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def load_sweep_golden(name: str, golden_dir: Optional[Path] = None) -> Dict[str, object]:
+    path = sweep_golden_path(name, golden_dir)
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no golden committed for sweep {name!r} (expected {path}); "
+            f"run `python -m repro.sweeps.golden --update {name}`"
+        )
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+# -- comparison ---------------------------------------------------------------
+
+
+def compare_sweep_digests(
+    expected: Dict[str, object], actual: Dict[str, object]
+) -> List[str]:
+    """Differences between two sweep digests (empty list = match).
+
+    Grid structure — the sweep identity, axes, cell assignments, labels and
+    seeds — must match exactly; metric blocks are compared with the
+    per-metric tolerances of the scenario goldens; per-cell ``digest``
+    hashes are informational and never compared here.
+    """
+    mismatches: List[str] = []
+    for field in ("sweep", "base", "base_seed", "scale", "seed_policy", "axes"):
+        if expected.get(field) != actual.get(field):
+            mismatches.append(
+                f"{field}: golden={expected.get(field)!r} actual={actual.get(field)!r}"
+            )
+    expected_cells = expected.get("cells", [])
+    actual_cells = actual.get("cells", [])
+    if len(expected_cells) != len(actual_cells):
+        mismatches.append(
+            f"cells: golden has {len(expected_cells)}, fresh run has {len(actual_cells)}"
+        )
+        return mismatches
+    for index, (want, got) in enumerate(zip(expected_cells, actual_cells)):
+        where = f"cell[{index}]"
+        for field in ("coordinates", "assignments", "labels", "seed"):
+            if want.get(field) != got.get(field):
+                mismatches.append(
+                    f"{where}.{field}: golden={want.get(field)!r} actual={got.get(field)!r}"
+                )
+        expected_systems = want.get("systems", {})
+        actual_systems = got.get("systems", {})
+        for system in sorted(set(expected_systems) | set(actual_systems)):
+            if system not in actual_systems:
+                mismatches.append(f"{where}.{system}: missing from the fresh run")
+                continue
+            if system not in expected_systems:
+                mismatches.append(f"{where}.{system}: not present in the golden")
+                continue
+            mismatches.extend(
+                _compare_metric_block(
+                    expected_systems[system].get("metrics", {}),
+                    actual_systems[system].get("metrics", {}),
+                    prefix=f"{where}.{system}.metrics",
+                    phase=False,
+                )
+            )
+            expected_phases = expected_systems[system].get("phases", {})
+            actual_phases = actual_systems[system].get("phases", {})
+            for phase in sorted(set(expected_phases) | set(actual_phases)):
+                mismatches.extend(
+                    _compare_metric_block(
+                        expected_phases.get(phase, {}),
+                        actual_phases.get(phase, {}),
+                        prefix=f"{where}.{system}.phases.{phase}",
+                        phase=True,
+                    )
+                )
+    return mismatches
+
+
+def verify_sweep_golden(
+    name: str, golden_dir: Optional[Path] = None, jobs: int = 1
+) -> List[str]:
+    """Re-run the whole grid at golden scale and diff against the committed file."""
+    expected = load_sweep_golden(name, golden_dir)
+    actual = compute_sweep_digest(name, jobs=jobs)
+    return compare_sweep_digests(expected, actual)
+
+
+# -- command line (used by `make goldens-sweeps` / CI) ------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro.sweeps.golden",
+        description="check or regenerate the committed sweep-golden files",
+    )
+    parser.add_argument("names", nargs="*",
+                        help="sweep names (default: the whole registry)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the goldens instead of checking them")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes per sweep grid (default 1)")
+    parser.add_argument("--golden-dir", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    names = list(args.names) if args.names else sweep_names()
+    unknown = [name for name in names if name not in sweep_names()]
+    if unknown:
+        print(f"error: unknown sweep(s): {', '.join(unknown)}; "
+              f"known sweeps: {', '.join(sweep_names())}", file=sys.stderr)
+        return 2
+    if args.jobs <= 0:
+        print("error: --jobs must be positive", file=sys.stderr)
+        return 2
+    failures = 0
+    for name in names:
+        if args.update:
+            path = write_sweep_golden(name, args.golden_dir, jobs=args.jobs)
+            print(f"updated {path}", file=out)
+            continue
+        try:
+            mismatches = verify_sweep_golden(name, args.golden_dir, jobs=args.jobs)
+        except FileNotFoundError as error:
+            print(f"FAIL {name}: {error}", file=out)
+            failures += 1
+            continue
+        if mismatches:
+            failures += 1
+            print(f"FAIL {name}:", file=out)
+            for mismatch in mismatches:
+                print(f"  {mismatch}", file=out)
+        else:
+            print(f"ok   {name}", file=out)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    raise SystemExit(main())

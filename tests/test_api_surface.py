@@ -27,10 +27,13 @@ SNAPSHOT_PATH = Path(__file__).parent / "api_surface.json"
 def current_surface() -> dict:
     import repro.scenarios
     import repro.session
+    import repro.sweeps
     from repro.scenarios.models import churn_model_names, fault_model_names
     from repro.scenarios.program import WorkloadPhase
     from repro.scenarios.spec import ScenarioSpec
     from repro.session import Session
+    from repro.sweeps.library import sweep_names
+    from repro.sweeps.spec import SweepAxis, SweepSpec
 
     def public_methods(cls) -> list:
         return sorted(name for name in vars(cls) if not name.startswith("_"))
@@ -38,6 +41,7 @@ def current_surface() -> dict:
     return {
         "repro.session": sorted(repro.session.__all__),
         "repro.scenarios": sorted(repro.scenarios.__all__),
+        "repro.sweeps": sorted(repro.sweeps.__all__),
         "Session": public_methods(Session),
         "ScenarioSpec.fields": sorted(
             field.name for field in dataclasses.fields(ScenarioSpec)
@@ -45,8 +49,15 @@ def current_surface() -> dict:
         "WorkloadPhase.fields": sorted(
             field.name for field in dataclasses.fields(WorkloadPhase)
         ),
+        "SweepSpec.fields": sorted(
+            field.name for field in dataclasses.fields(SweepSpec)
+        ),
+        "SweepAxis.fields": sorted(
+            field.name for field in dataclasses.fields(SweepAxis)
+        ),
         "churn_models": churn_model_names(),
         "fault_models": fault_model_names(),
+        "sweeps": sweep_names(),
     }
 
 

@@ -124,3 +124,128 @@ class TestScenariosShow:
         code = cli.main(["scenarios", "show", "no-such-thing"], out=io.StringIO())
         assert code == 2
         assert "known scenarios" in capsys.readouterr().err
+
+
+class TestSweepVerbs:
+    """The `sweep list|show|run` verbs and the legacy deprecation shim."""
+
+    def test_list_prints_the_registry(self):
+        output = run_cli(["sweep", "list"])
+        assert "Sweep registry" in output
+        assert "table2a-gossip-length" in output
+        assert "fig6-hit-ratio-comparison" in output
+
+    def test_show_prints_axes_and_compiled_grid(self):
+        output = run_cli(["sweep", "show", "table2b-gossip-period"])
+        assert "Sweep: table2b-gossip-period" in output
+        assert "Tgossip(s)" in output
+        assert "Compiled grid" in output
+        assert "Tgossip(s)=60" in output
+
+    def test_show_unknown_sweep_is_a_clean_error(self, capsys):
+        code = cli.main(["sweep", "show", "no-such-sweep"], out=io.StringIO())
+        assert code == 2
+        assert "known sweeps" in capsys.readouterr().err
+
+    def test_run_emits_the_json_digest(self):
+        import json as _json
+
+        payload = _json.loads(
+            run_cli(["sweep", "run", "table2a-gossip-length", "--scale", "0.1"])
+        )
+        assert payload["sweep"] == "table2a-gossip-length"
+        assert len(payload["cells"]) == 3
+        assert payload["cells"][0]["assignments"] == {"gossip_length": 5}
+
+    def test_run_table_output(self):
+        output = run_cli(
+            ["sweep", "run", "table2a-gossip-length", "--scale", "0.1", "--table"]
+        )
+        assert "Sweep: table2a-gossip-length" in output
+        assert "Lgossip" in output
+
+    def test_run_jobs_matches_sequential(self):
+        sequential = run_cli(
+            ["sweep", "run", "table2a-gossip-length", "--scale", "0.1"]
+        )
+        parallel = run_cli(
+            ["sweep", "run", "table2a-gossip-length", "--scale", "0.1", "--jobs", "2"]
+        )
+        assert sequential == parallel
+
+    def test_run_exports_artifacts(self, tmp_path):
+        output = run_cli(
+            ["sweep", "run", "ablation-push-threshold", "--scale", "0.1",
+             "--out", str(tmp_path)]
+        )
+        assert "wrote" in output
+        for suffix in ("csv", "json", "md"):
+            assert (tmp_path / f"ablation-push-threshold.{suffix}").exists()
+
+    def test_run_unknown_sweep_is_a_clean_error(self, capsys):
+        code = cli.main(["sweep", "run", "no-such-sweep"], out=io.StringIO())
+        assert code == 2
+        assert "known sweeps" in capsys.readouterr().err
+
+    def test_run_rejects_bad_jobs_and_scale(self, capsys):
+        assert cli.main(
+            ["sweep", "run", "table2a-gossip-length", "--jobs", "0"],
+            out=io.StringIO(),
+        ) == 2
+        assert cli.main(
+            ["sweep", "run", "table2a-gossip-length", "--scale", "-1"],
+            out=io.StringIO(),
+        ) == 2
+        capsys.readouterr()
+
+    def test_run_golden_flags_are_pinned(self, capsys):
+        code = cli.main(
+            ["sweep", "run", "table2a-gossip-length", "--check-golden",
+             "--scale", "0.1"],
+            out=io.StringIO(),
+        )
+        assert code == 2
+        assert "pinned" in capsys.readouterr().err
+        code = cli.main(
+            ["sweep", "run", "table2a-gossip-length", "--check-golden",
+             "--update-goldens"],
+            out=io.StringIO(),
+        )
+        assert code == 2
+        capsys.readouterr()
+
+    def test_run_check_golden_passes_on_committed_goldens(self):
+        output = run_cli(
+            ["sweep", "run", "table2a-gossip-length", "--check-golden", "--jobs", "2"]
+        )
+        assert "ok   table2a-gossip-length" in output
+
+    def test_legacy_flag_style_sweep_still_works(self, capsys):
+        output = run_cli(["sweep", *TINY])
+        assert "Table 2(a)" in output
+        assert "Table 2(b)" in output
+        assert "Table 2(c)" in output
+        assert "deprecated" in capsys.readouterr().err
+
+    def test_legacy_flags_before_a_verb_are_rejected_not_dropped(self, capsys):
+        code = cli.main(
+            ["sweep", "--seed", "7", "run", "table2a-gossip-length"],
+            out=io.StringIO(),
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--seed" in err and "cannot be combined" in err
+        code = cli.main(
+            ["sweep", "--paper-scale", "list"], out=io.StringIO()
+        )
+        assert code == 2
+        capsys.readouterr()
+
+    def test_run_rejects_out_with_golden_flags(self, capsys, tmp_path):
+        code = cli.main(
+            ["sweep", "run", "table2a-gossip-length", "--check-golden",
+             "--out", str(tmp_path)],
+            out=io.StringIO(),
+        )
+        assert code == 2
+        assert "--out" in capsys.readouterr().err

@@ -219,3 +219,74 @@ class TestCorrelatedLocalityFaults:
             if entry.kind.startswith("correlated")
         ]
         assert log, "the scheduled outage never fired"
+
+
+class TestGossipLossFaultModel:
+    """The "gossip-loss" model: probabilistic gossip-message drop."""
+
+    def make_spec(self, drop_probability):
+        return dataclasses.replace(
+            get_scenario("paper-default").scaled(TINY_SCALE),
+            fault_model=ModelRef.of("gossip-loss", drop_probability=drop_probability),
+        )
+
+    def test_registered(self):
+        assert "gossip-loss" in fault_model_names()
+
+    def test_drop_probability_validated(self):
+        with pytest.raises(ValueError, match="drop_probability"):
+            build_fault_model(ModelRef.of("gossip-loss", drop_probability=-0.1))
+        with pytest.raises(ValueError, match="drop_probability"):
+            build_fault_model(ModelRef.of("gossip-loss", drop_probability=1.5))
+
+    def test_zero_probability_is_byte_identical_to_none(self):
+        baseline = run_scenario(get_scenario("paper-default").scaled(TINY_SCALE), seed=7)
+        session = Session.from_spec(self.make_spec(0.0), seed=7)
+        lossless = session.run()
+        # The model attaches nothing, draws nothing, and changes nothing.
+        assert session.last_injectors == []
+        assert lossless.metrics_digest() == baseline.metrics_digest()
+
+    def test_total_loss_suppresses_every_exchange(self):
+        session = Session.from_spec(self.make_spec(1.0), seed=7)
+        session.run()
+        (injector,) = session.last_injectors
+        assert injector.delivered == 0
+        assert injector.dropped > 0
+        assert all(entry.kind == "gossip_message_drop" for entry in injector.log)
+        system = session.experiment.last_flower_system
+        assert all(
+            peer.gossip_initiated == 0 for peer in system._content_peers.values()
+        )
+
+    def test_partial_loss_drops_some_and_delivers_some(self):
+        session = Session.from_spec(self.make_spec(0.5), seed=7)
+        lossy = session.run()
+        (injector,) = session.last_injectors
+        assert injector.dropped > 0
+        assert injector.delivered > 0
+        baseline = run_scenario(get_scenario("paper-default").scaled(TINY_SCALE), seed=7)
+        assert lossy.metrics_digest() != baseline.metrics_digest()
+
+    def test_filter_detaches_after_the_run(self):
+        session = Session.from_spec(self.make_spec(0.5), seed=7)
+        session.run()
+        assert session.experiment.last_flower_system.gossip_message_filter is None
+
+    def test_runs_are_deterministic(self):
+        first = run_scenario(self.make_spec(0.3), seed=11).metrics_digest()
+        second = run_scenario(self.make_spec(0.3), seed=11).metrics_digest()
+        assert first == second
+
+    def test_double_attach_rejected(self):
+        from repro.scenarios.models import GossipLossInjector
+
+        session = Session.from_spec(self.make_spec(0.5), seed=7)
+        _, system = session.build_flower()
+        injector = GossipLossInjector(system, 0.5)
+        injector.start()
+        other = GossipLossInjector(system, 0.5)
+        with pytest.raises(RuntimeError, match="already attached"):
+            other.start()
+        injector.stop()
+        assert system.gossip_message_filter is None

@@ -1,0 +1,144 @@
+"""Tests for sweep execution: determinism, parallelism, the result table."""
+
+import json
+
+import pytest
+
+from repro.sweeps.engine import run_sweep
+from repro.sweeps.library import (
+    get_sweep,
+    iter_sweeps,
+    register_sweep,
+    sweep_names,
+    unregister_sweep,
+)
+from repro.sweeps.spec import SweepAxis, SweepSpec
+
+TINY_SCALE = 0.1
+
+#: a 2-cell grid small enough for per-test execution
+TINY_SWEEP = SweepSpec(
+    name="tiny-gossip-length",
+    description="test-only two-point Lgossip grid",
+    base="paper-default",
+    axes=(SweepAxis.single("Lgossip", "gossip_length", (5, 20)),),
+)
+
+
+class TestRegistry:
+    def test_builtin_sweeps_registered(self):
+        assert {
+            "table2a-gossip-length",
+            "table2b-gossip-period",
+            "table2c-view-size",
+            "ablation-churn",
+            "ablation-push-threshold",
+            "fig6-hit-ratio-comparison",
+        } <= set(sweep_names())
+
+    def test_get_unknown_sweep_is_actionable(self):
+        with pytest.raises(KeyError, match="known sweeps"):
+            get_sweep("no-such-sweep")
+
+    def test_duplicate_registration_rejected(self):
+        sweep = SweepSpec(name="tmp-sweep")
+        register_sweep(sweep)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_sweep(sweep)
+            register_sweep(sweep, overwrite=True)
+        finally:
+            unregister_sweep("tmp-sweep")
+
+    def test_iteration_is_sorted(self):
+        assert [sweep.name for sweep in iter_sweeps()] == sweep_names()
+
+
+class TestRunSweep:
+    def test_sequential_run_attaches_results(self):
+        result = run_sweep(TINY_SWEEP, scale=TINY_SCALE)
+        assert len(result) == 2
+        for cell in result:
+            assert cell.result is not None
+            assert cell.result.spec.gossip_length == cell.assignments["gossip_length"]
+            assert set(cell.systems) == {"flower"}
+
+    def test_parallel_is_byte_identical_to_sequential(self):
+        sequential = run_sweep(TINY_SWEEP, scale=TINY_SCALE, jobs=1)
+        parallel = run_sweep(TINY_SWEEP, scale=TINY_SCALE, jobs=2)
+        assert json.dumps(sequential.to_dict(), sort_keys=True) == json.dumps(
+            parallel.to_dict(), sort_keys=True
+        )
+        # The parallel path returns digests only (results stay in the workers).
+        assert all(cell.result is None for cell in parallel)
+
+    def test_runs_are_deterministic_across_invocations(self):
+        first = run_sweep(TINY_SWEEP, scale=TINY_SCALE)
+        second = run_sweep(TINY_SWEEP, scale=TINY_SCALE)
+        assert first.to_dict() == second.to_dict()
+
+    def test_run_by_name(self):
+        result = run_sweep("table2a-gossip-length", scale=TINY_SCALE)
+        assert result.sweep.name == "table2a-gossip-length"
+        assert result.base == "paper-default"
+        assert len(result) == 3
+
+    def test_shared_seed_reuses_the_trace(self):
+        """Common random numbers: every cell processes the same query trace."""
+        result = run_sweep(TINY_SWEEP, scale=TINY_SCALE)
+        queries = {cell.metric("num_queries") for cell in result}
+        assert len(queries) == 1
+
+    def test_seed_override_changes_cells(self):
+        default = run_sweep(TINY_SWEEP, scale=TINY_SCALE)
+        reseeded = run_sweep(TINY_SWEEP, scale=TINY_SCALE, seed=7)
+        assert reseeded.base_seed == 7
+        assert all(cell.seed == 7 for cell in reseeded)
+        assert default.to_dict() != reseeded.to_dict()
+
+    def test_cell_lookup_by_assignment(self):
+        result = run_sweep(TINY_SWEEP, scale=TINY_SCALE)
+        assert result.cell(gossip_length=5).assignments == {"gossip_length": 5}
+        with pytest.raises(KeyError, match="0 cells"):
+            result.cell(gossip_length=999)
+        with pytest.raises(KeyError, match="2 cells"):
+            result.cell()
+
+    def test_metric_helpers(self):
+        result = run_sweep(TINY_SWEEP, scale=TINY_SCALE)
+        assert result.systems() == ["flower"]
+        names = result.metric_names("flower")
+        assert names[:2] == ["num_queries", "hit_ratio"]
+        assert len(result.series("hit_ratio")) == 2
+
+    def test_derived_policy_varies_the_trace(self):
+        import dataclasses
+
+        derived = dataclasses.replace(TINY_SWEEP, name="tiny-derived",
+                                      seed_policy="derived")
+        result = run_sweep(derived, scale=TINY_SCALE)
+        seeds = {cell.seed for cell in result}
+        assert len(seeds) == 2
+
+    def test_multi_system_sweep_reports_both_systems(self):
+        result = run_sweep("fig6-hit-ratio-comparison", scale=TINY_SCALE)
+        (cell,) = result.cells
+        assert set(cell.systems) == {"flower", "squirrel"}
+        assert result.systems() == ["flower", "squirrel"]
+        # Both systems processed the same trace.
+        assert cell.metric("num_queries", "flower") == cell.metric(
+            "num_queries", "squirrel"
+        )
+
+    def test_digest_is_a_sha256_of_the_cell(self):
+        result = run_sweep(TINY_SWEEP, scale=TINY_SCALE)
+        digests = [cell.digest for cell in result]
+        assert all(len(digest) == 64 for digest in digests)
+        assert len(set(digests)) == len(digests)
+
+    def test_to_dict_round_trips_through_json(self):
+        result = run_sweep(TINY_SWEEP, scale=TINY_SCALE)
+        blob = json.dumps(result.to_dict(), sort_keys=True)
+        assert json.loads(blob) == json.loads(
+            json.dumps(result.to_dict(), sort_keys=True)
+        )
