@@ -6,8 +6,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test goldens check-goldens goldens-paper check-goldens-paper \
-        goldens-sweeps check-goldens-sweeps sweep-smoke sweeps \
+.PHONY: test goldens check-goldens check-kernel goldens-paper \
+        check-goldens-paper goldens-sweeps check-goldens-sweeps \
+        goldens-sweeps-paper sweep-smoke sweeps \
         bench-smoke bench scenarios api-surface api-surface-update \
         perf perf-check perf-baseline perf-paper
 
@@ -22,6 +23,10 @@ goldens:
 ## standalone golden verification (CI runs this in addition to `test`)
 check-goldens:
 	$(PYTHON) -m repro.scenarios.golden
+
+## verify the columnar kernel reproduces every standard-tier golden (CI step)
+check-kernel:
+	$(PYTHON) -m repro.scenarios.golden --kernel --tier standard
 
 ## fast benchmark subset: parameter table + the headline Figure 6 comparison
 bench-smoke:
@@ -84,3 +89,7 @@ goldens-paper:
 ## verify the paper-scale goldens (what the nightly job runs)
 check-goldens-paper:
 	$(PYTHON) -m repro.scenarios.golden --tier paper-scale
+
+## regenerate the nightly scale-1.0 sweep golden (Table 2a grid; minutes)
+goldens-sweeps-paper:
+	$(PYTHON) -m repro.sweeps.golden --update --scale 1.0 table2a-gossip-length

@@ -736,17 +736,24 @@ def _command_perf(args: argparse.Namespace, out) -> int:
         baseline_path = perf_module.default_baseline_path()
         if "paper_scale" not in document and baseline_path.exists():
             # A refresh without --paper-scale must not silently drop the
-            # committed paper-scale section (the nightly tier and its tests
-            # rely on it): carry the previous numbers over.
+            # committed paper-scale sections (the nightly tier and its tests
+            # rely on them): carry the previous numbers over.
             try:
                 previous = perf_module.suite.load_baseline(baseline_path)
             except (OSError, json.JSONDecodeError):
                 previous = {}
-            if "paper_scale" in previous:
-                document["paper_scale"] = previous["paper_scale"]
+            carried = [
+                key for key in ("paper_scale", "paper_scale_kernel")
+                if key in previous
+            ]
+            for key in carried:
+                document[key] = previous[key]
+            if carried:
                 print(
-                    "note: kept the previous paper_scale baseline section "
-                    "(re-run with --paper-scale to refresh it)",
+                    "note: kept the previous {} baseline section(s) "
+                    "(re-run with --paper-scale to refresh)".format(
+                        "/".join(carried)
+                    ),
                     file=out,
                 )
         path = perf_module.suite.write_document(document, baseline_path)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.core.columns import KernelContentPeer, KernelDirectoryPeer
 from repro.core.config import FlowerConfig
 from repro.core.content_peer import ContentPeer, PushMessage
 from repro.core.directory_peer import DirectoryPeer
@@ -77,8 +78,16 @@ class FlowerCDN:
         latency_model: Optional[LatencyModel] = None,
         catalog: Optional[Catalog] = None,
         compact_metrics: bool = False,
+        kernel: bool = False,
     ) -> None:
         self.config = config
+        #: backend toggle: the columnar kernel stores peer views, summaries
+        #: and directory indexes as packed columns (see repro.core.columns)
+        #: while sharing this class's orchestration; runs are digest-identical
+        #: across backends, the kernel is just faster at scale.
+        self.kernel = kernel
+        self._content_cls = KernelContentPeer if kernel else ContentPeer
+        self._directory_cls = KernelDirectoryPeer if kernel else DirectoryPeer
         self.sim = sim
         self.topology = topology
         self.latency = latency_model or LatencyModel(topology)
@@ -239,7 +248,7 @@ class FlowerCDN:
         peer_id = f"d({website},{locality})#{generation}"
         self.latency.register_peer(peer_id, host_id)
         placement = self.dring.register_directory(website, locality, peer_id)
-        directory = DirectoryPeer(
+        directory = self._directory_cls(
             peer_id=peer_id,
             host_id=host_id,
             website=website,
@@ -510,7 +519,7 @@ class FlowerCDN:
         peer_id = f"c({website})@{host_id}"
         if peer_id in self._content_peers:
             return self._content_peers[peer_id]
-        peer = ContentPeer(
+        peer = self._content_cls(
             peer_id=peer_id,
             host_id=host_id,
             website=website,
@@ -750,7 +759,7 @@ class FlowerCDN:
         peer_id = f"d({website},{locality})#{generation}"
         self.latency.register_peer(peer_id, detector.host_id)
         placement = self.dring.replace_directory(website, locality, peer_id)
-        replacement = DirectoryPeer(
+        replacement = self._directory_cls(
             peer_id=peer_id,
             host_id=detector.host_id,
             website=website,

@@ -52,6 +52,16 @@ def _mask_for(num_bits: int, num_hashes: int, item: str) -> int:
     return mask
 
 
+def mask_for(num_bits: int, num_hashes: int, item: str) -> int:
+    """OR-mask of ``item``'s bit positions for the given filter geometry.
+
+    Public entry point for packed-summary backends (``repro.core.columns``)
+    that operate on raw bit masks: sharing the memoised table with
+    :class:`BloomFilter` guarantees bit-identical summaries across backends.
+    """
+    return _mask_for(num_bits, num_hashes, item)
+
+
 def entries_maybe_containing(entries, item: str) -> list:
     """Filter aged-view entries whose Bloom payload may contain ``item``.
 

@@ -9,6 +9,12 @@ paper's routing algorithms need are implemented here:
 * ``conditional_local_lookup(key, predicate)`` — Algorithm 2's extra step:
   the same, restricted to known nodes satisfying a predicate (D-ring uses
   "same website ID as the key").
+
+Routing state is bidirectional: alongside the classic clockwise finger table
+each node keeps *backward fingers* (the first live node counter-clockwise
+from ``id - 2^i``), so greedy numerically-closest routing halves the distance
+to a counter-clockwise key just as it does clockwise, and lookups are
+O(log n) in both directions instead of degrading to a predecessor walk.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ class ChordNode:
         #: latency model and the Flower-CDN layer); defaults to the node id.
         self.peer_name = peer_name or f"node-{node_id}"
         self.fingers: List[Optional[int]] = [None] * idspace.bits
+        self.back_fingers: List[Optional[int]] = [None] * idspace.bits
         self.successors: List[int] = []
         self.predecessor: Optional[int] = None
         self.alive = True
@@ -44,10 +51,15 @@ class ChordNode:
         """The identifier the ``index``-th finger should point at: ``id + 2^index``."""
         return self.idspace.normalize(self.node_id + (1 << index))
 
+    def back_finger_start(self, index: int) -> int:
+        """The identifier the ``index``-th backward finger points at: ``id - 2^index``."""
+        return self.idspace.normalize(self.node_id - (1 << index))
+
     def known_nodes(self) -> Set[int]:
         """Every node id present in this node's routing state (plus itself)."""
         known: Set[int] = {self.node_id}
         known.update(f for f in self.fingers if f is not None)
+        known.update(f for f in self.back_fingers if f is not None)
         known.update(self.successors)
         if self.predecessor is not None:
             known.add(self.predecessor)
@@ -56,6 +68,7 @@ class ChordNode:
     def forget(self, node_id: int) -> None:
         """Drop a failed node from every routing-state slot."""
         self.fingers = [None if f == node_id else f for f in self.fingers]
+        self.back_fingers = [None if f == node_id else f for f in self.back_fingers]
         self.successors = [s for s in self.successors if s != node_id]
         if self.predecessor == node_id:
             self.predecessor = None
@@ -69,12 +82,20 @@ class ChordNode:
             current = self.fingers[index]
             if current is None:
                 self.fingers[index] = node_id
-                continue
             # Prefer the node closest after the finger start (classic Chord).
-            if self.idspace.clockwise_distance(start, node_id) < self.idspace.clockwise_distance(
+            elif self.idspace.clockwise_distance(start, node_id) < self.idspace.clockwise_distance(
                 start, current
             ):
                 self.fingers[index] = node_id
+            back_start = self.back_finger_start(index)
+            back_current = self.back_fingers[index]
+            if back_current is None:
+                self.back_fingers[index] = node_id
+            # Mirror image: prefer the node closest *before* the backward start.
+            elif self.idspace.clockwise_distance(node_id, back_start) < self.idspace.clockwise_distance(
+                back_current, back_start
+            ):
+                self.back_fingers[index] = node_id
 
     # -- lookups (Algorithms 1 and 2 primitives) ------------------------------
 
@@ -134,10 +155,25 @@ def rebuild_routing_state(
                 hi = mid
         return live_ids[lo % ring_size]
 
+    def predecessor_of(identifier: int) -> int:
+        """First live node counter-clockwise from ``identifier`` (inclusive)."""
+        # live_ids is sorted; find the last id <= identifier, else wrap.
+        lo, hi = 0, ring_size
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if live_ids[mid] <= identifier:
+                lo = mid + 1
+            else:
+                hi = mid
+        return live_ids[(lo - 1) % ring_size]
+
     for position, node_id in enumerate(live_ids):
         node = nodes[node_id]
         node.fingers = [
             successor_of(node.finger_start(index)) for index in range(idspace.bits)
+        ]
+        node.back_fingers = [
+            predecessor_of(node.back_finger_start(index)) for index in range(idspace.bits)
         ]
         node.successors = [
             live_ids[(position + offset) % ring_size]

@@ -79,16 +79,17 @@ class KBRRouter:
         """Hop bound for one route call.
 
         Greedy numerically-closest routing strictly decreases the distance to
-        the key every hop, so it always terminates — but progress *towards a
-        key that lies counter-clockwise* happens mostly through predecessor
-        links (fingers only point clockwise) and can take O(ring size) hops.
-        The bound therefore scales with the live membership instead of the
-        identifier width alone; it only exists to turn genuinely corrupted
-        routing state into an error instead of an infinite loop.
+        the key every hop, so it always terminates; with bidirectional finger
+        tables (see :mod:`repro.overlay.node`) every hop roughly halves the
+        remaining distance whichever way around the ring the key lies, so
+        genuine routes take O(log n) hops.  The bound is a small multiple of
+        the identifier width — enough slack for stale-entry retries after
+        churn — and only exists to turn genuinely corrupted routing state
+        into an error instead of an infinite loop.
         """
         if self._max_hops is not None:
             return self._max_hops
-        return max(4 * self._ring.idspace.bits, 2 * len(self._ring) + 8)
+        return 8 * self._ring.idspace.bits + 32
 
     @property
     def ring(self) -> ChordRing:

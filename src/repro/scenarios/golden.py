@@ -119,9 +119,14 @@ def golden_spec(name: str) -> ScenarioSpec:
     return spec if scale == 1.0 else spec.scaled(scale)
 
 
-def compute_golden_digest(name: str) -> Dict[str, object]:
-    """Run ``name`` at golden scale/seed and return the digest to commit."""
-    result = run_scenario(golden_spec(name), seed=GOLDEN_SEED)
+def compute_golden_digest(name: str, kernel: bool = False) -> Dict[str, object]:
+    """Run ``name`` at golden scale/seed and return the digest to commit.
+
+    ``kernel=True`` runs on the columnar kernel backend; since the backends
+    are digest-identical the result must match the committed golden either
+    way — which is exactly what the kernel-equivalence gate checks.
+    """
+    result = run_scenario(golden_spec(name), seed=GOLDEN_SEED, kernel=kernel)
     return result_digest(result, scale=golden_scale_for(name))
 
 
@@ -226,10 +231,12 @@ def _compare_metric_block(
     return mismatches
 
 
-def verify_golden(name: str, golden_dir: Optional[Path] = None) -> List[str]:
+def verify_golden(
+    name: str, golden_dir: Optional[Path] = None, kernel: bool = False
+) -> List[str]:
     """Re-run ``name`` at golden scale and diff against the committed file."""
     expected = load_golden(name, golden_dir)
-    actual = compute_golden_digest(name)
+    actual = compute_golden_digest(name, kernel=kernel)
     return compare_digests(expected, actual)
 
 
@@ -252,7 +259,17 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
                              "(default: standard; the paper-scale tier takes "
                              "minutes per scenario and runs nightly)")
     parser.add_argument("--golden-dir", type=Path, default=None)
+    parser.add_argument("--kernel", action="store_true",
+                        help="run on the columnar kernel backend; the digest "
+                             "must still match the committed golden byte for "
+                             "byte (the kernel-equivalence gate)")
     args = parser.parse_args(argv)
+
+    if args.kernel and args.update:
+        print("error: --kernel cannot be combined with --update; goldens are "
+              "produced by the default object backend (the kernel must match "
+              "them, not define them)", file=out)
+        return 2
 
     if args.names:
         names = list(args.names)
@@ -272,7 +289,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             print(f"updated {path}", file=out)
             continue
         try:
-            mismatches = verify_golden(name, args.golden_dir)
+            mismatches = verify_golden(name, args.golden_dir, kernel=args.kernel)
         except FileNotFoundError as error:
             print(f"FAIL {name}: {error}", file=out)
             failures += 1

@@ -195,6 +195,22 @@ register_scenario(
     )
 )
 
+register_scenario(
+    ScenarioSpec(
+        name="gossip-lossy",
+        description=(
+            "Paper-default workload over an unreliable transport: every "
+            "attempted gossip exchange is dropped in transit with "
+            "probability 0.25 — the lossy-network regime the paper's "
+            "reliable-delivery assumption glosses over.  Dissemination "
+            "survives on the remaining exchanges, degrading view freshness "
+            "without touching the directory machinery (contrast with "
+            "gossip-starved, which throttles the schedule itself)."
+        ),
+        fault_model=ModelRef.of("gossip-loss", drop_probability=0.25),
+    )
+)
+
 
 # -- scenario-program workloads (phased, churned, faulted) -------------------
 

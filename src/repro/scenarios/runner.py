@@ -192,11 +192,14 @@ class ScenarioRunner:
 
 
 def run_scenario(
-    spec: ScenarioSpec, seed: Optional[int] = None, scale: Optional[float] = None
+    spec: ScenarioSpec,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+    kernel: bool = False,
 ) -> ScenarioResult:
     """Convenience wrapper: optionally rescale, then run through a Session."""
     from repro.session import Session
 
     if scale is not None and scale != 1.0:
         spec = spec.scaled(scale)
-    return Session(spec, seed=seed).run()
+    return Session(spec, seed=seed, kernel=kernel).run()

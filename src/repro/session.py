@@ -33,6 +33,7 @@ reconstructing them.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional
 
 from repro.experiments.driver import ExperimentRunner, ExperimentSetup, RunResult
@@ -46,10 +47,23 @@ __all__ = ["Session"]
 class Session:
     """One fully-wired simulation run: spec in, structured result out."""
 
-    def __init__(self, spec: ScenarioSpec, seed: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        seed: Optional[int] = None,
+        kernel: bool = False,
+    ) -> None:
         self.spec = spec
         self.seed = spec.seed if seed is None else seed
-        self._experiment = ExperimentRunner(spec.to_setup(seed=self.seed))
+        #: backend toggle: when True Flower-CDN runs on the columnar kernel
+        #: (repro.core.columns).  A runtime knob, not part of the spec — the
+        #: two backends are digest-identical, so results and goldens carry no
+        #: trace of which one produced them.
+        self.kernel = kernel
+        setup = spec.to_setup(seed=self.seed)
+        if kernel:
+            setup = replace(setup, kernel=True)
+        self._experiment = ExperimentRunner(setup)
         self._churn_model = build_churn_model(spec.churn_model)
         self._fault_model = build_fault_model(spec.fault_model)
         #: injectors attached to the most recent flower run (diagnostics)
@@ -58,9 +72,11 @@ class Session:
     # -- construction -------------------------------------------------------
 
     @classmethod
-    def from_spec(cls, spec: ScenarioSpec, seed: Optional[int] = None) -> "Session":
+    def from_spec(
+        cls, spec: ScenarioSpec, seed: Optional[int] = None, kernel: bool = False
+    ) -> "Session":
         """A session for an explicit spec (the canonical constructor)."""
-        return cls(spec, seed=seed)
+        return cls(spec, seed=seed, kernel=kernel)
 
     @classmethod
     def from_name(
@@ -68,6 +84,7 @@ class Session:
         name: str,
         seed: Optional[int] = None,
         scale: Optional[float] = None,
+        kernel: bool = False,
     ) -> "Session":
         """A session for a registered library scenario, optionally rescaled."""
         from repro.scenarios.library import get_scenario
@@ -75,7 +92,7 @@ class Session:
         spec = get_scenario(name)
         if scale is not None and scale != 1.0:
             spec = spec.scaled(scale)
-        return cls(spec, seed=seed)
+        return cls(spec, seed=seed, kernel=kernel)
 
     # -- the underlying layers ----------------------------------------------
 

@@ -61,36 +61,54 @@ def default_sweep_golden_dir() -> Path:
     return Path(__file__).resolve().parents[3] / "tests" / "goldens" / "sweeps"
 
 
-def sweep_golden_path(name: str, golden_dir: Optional[Path] = None) -> Path:
+def sweep_golden_path(
+    name: str, golden_dir: Optional[Path] = None, scale: float = SWEEP_GOLDEN_SCALE
+) -> Path:
+    """File a sweep golden lives in; non-default scales get their own file.
+
+    The per-PR gate pins every grid at :data:`SWEEP_GOLDEN_SCALE`; the nightly
+    job additionally pins selected grids at scale 1.0 (``<name>@1x.json``), so
+    the two never overwrite each other.
+    """
     directory = golden_dir if golden_dir is not None else default_sweep_golden_dir()
-    return directory / f"{name}.json"
+    if scale == SWEEP_GOLDEN_SCALE:
+        return directory / f"{name}.json"
+    return directory / f"{name}@{scale:g}x.json"
 
 
 # -- producing digests --------------------------------------------------------
 
 
-def compute_sweep_digest(name: str, jobs: int = 1) -> Dict[str, object]:
-    """Run ``name`` at the pinned golden scale/seed; the digest to commit."""
-    result = run_sweep(name, jobs=jobs, seed=GOLDEN_SEED, scale=SWEEP_GOLDEN_SCALE)
+def compute_sweep_digest(
+    name: str, jobs: int = 1, scale: float = SWEEP_GOLDEN_SCALE
+) -> Dict[str, object]:
+    """Run ``name`` at the pinned golden seed and ``scale``; the digest to commit."""
+    result = run_sweep(name, jobs=jobs, seed=GOLDEN_SEED, scale=scale)
     return result.to_dict()
 
 
 def write_sweep_golden(
-    name: str, golden_dir: Optional[Path] = None, jobs: int = 1
+    name: str,
+    golden_dir: Optional[Path] = None,
+    jobs: int = 1,
+    scale: float = SWEEP_GOLDEN_SCALE,
 ) -> Path:
-    path = sweep_golden_path(name, golden_dir)
+    path = sweep_golden_path(name, golden_dir, scale=scale)
     path.parent.mkdir(parents=True, exist_ok=True)
-    digest = compute_sweep_digest(name, jobs=jobs)
+    digest = compute_sweep_digest(name, jobs=jobs, scale=scale)
     path.write_text(json.dumps(digest, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     return path
 
 
-def load_sweep_golden(name: str, golden_dir: Optional[Path] = None) -> Dict[str, object]:
-    path = sweep_golden_path(name, golden_dir)
+def load_sweep_golden(
+    name: str, golden_dir: Optional[Path] = None, scale: float = SWEEP_GOLDEN_SCALE
+) -> Dict[str, object]:
+    path = sweep_golden_path(name, golden_dir, scale=scale)
     if not path.exists():
+        scale_arg = "" if scale == SWEEP_GOLDEN_SCALE else f" --scale {scale:g}"
         raise FileNotFoundError(
             f"no golden committed for sweep {name!r} (expected {path}); "
-            f"run `python -m repro.sweeps.golden --update {name}`"
+            f"run `python -m repro.sweeps.golden --update{scale_arg} {name}`"
         )
     return json.loads(path.read_text(encoding="utf-8"))
 
@@ -160,11 +178,14 @@ def compare_sweep_digests(
 
 
 def verify_sweep_golden(
-    name: str, golden_dir: Optional[Path] = None, jobs: int = 1
+    name: str,
+    golden_dir: Optional[Path] = None,
+    jobs: int = 1,
+    scale: float = SWEEP_GOLDEN_SCALE,
 ) -> List[str]:
-    """Re-run the whole grid at golden scale and diff against the committed file."""
-    expected = load_sweep_golden(name, golden_dir)
-    actual = compute_sweep_digest(name, jobs=jobs)
+    """Re-run the whole grid at ``scale`` and diff against the committed file."""
+    expected = load_sweep_golden(name, golden_dir, scale=scale)
+    actual = compute_sweep_digest(name, jobs=jobs, scale=scale)
     return compare_sweep_digests(expected, actual)
 
 
@@ -183,6 +204,11 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
                         help="rewrite the goldens instead of checking them")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes per sweep grid (default 1)")
+    parser.add_argument("--scale", type=float, default=SWEEP_GOLDEN_SCALE,
+                        help="scenario scale to pin the grid at (default "
+                             f"{SWEEP_GOLDEN_SCALE:g}; the nightly paper-scale "
+                             "job checks selected grids at 1.0, stored as "
+                             "<name>@1x.json)")
     parser.add_argument("--golden-dir", type=Path, default=None)
     args = parser.parse_args(argv)
 
@@ -195,14 +221,21 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     if args.jobs <= 0:
         print("error: --jobs must be positive", file=sys.stderr)
         return 2
+    if args.scale <= 0:
+        print("error: --scale must be positive", file=sys.stderr)
+        return 2
     failures = 0
     for name in names:
         if args.update:
-            path = write_sweep_golden(name, args.golden_dir, jobs=args.jobs)
+            path = write_sweep_golden(
+                name, args.golden_dir, jobs=args.jobs, scale=args.scale
+            )
             print(f"updated {path}", file=out)
             continue
         try:
-            mismatches = verify_sweep_golden(name, args.golden_dir, jobs=args.jobs)
+            mismatches = verify_sweep_golden(
+                name, args.golden_dir, jobs=args.jobs, scale=args.scale
+            )
         except FileNotFoundError as error:
             print(f"FAIL {name}: {error}", file=out)
             failures += 1

@@ -59,8 +59,42 @@ class TestChordNode:
         assert node.conditional_local_lookup(52, high_only) == 90
         assert node.conditional_local_lookup(52, lambda n: False) is None
 
+    def test_back_finger_starts(self, idspace: IdSpace):
+        node = ChordNode(10, idspace)
+        assert node.back_finger_start(0) == 9
+        assert node.back_finger_start(3) == 2
+        assert node.back_finger_start(7) == (10 - 128) % 256
+
+    def test_remember_improves_back_fingers(self, idspace: IdSpace):
+        node = ChordNode(0, idspace)
+        node.remember(100)
+        node.remember(254)
+        # back finger 0 targets id 255: 254 is closer before the start than 100.
+        assert node.back_fingers[0] == 254
+
+    def test_forget_clears_back_fingers(self, idspace: IdSpace):
+        node = ChordNode(0, idspace)
+        node.remember(200)
+        assert 200 in node.back_fingers
+        node.forget(200)
+        assert 200 not in node.back_fingers
+
     def test_rebuild_routing_state_on_empty_set_is_noop(self):
         rebuild_routing_state({})
+
+    def test_rebuild_points_back_fingers_at_ccw_predecessors(self, ring: ChordRing):
+        live = sorted(ring.live_ids())
+
+        def predecessor_of(identifier: int) -> int:
+            candidates = [n for n in live if n <= identifier]
+            return candidates[-1] if candidates else live[-1]
+
+        for node_id in live:
+            node = ring.node(node_id)
+            for index in range(node.idspace.bits):
+                assert node.back_fingers[index] == predecessor_of(
+                    node.back_finger_start(index)
+                )
 
 
 class TestChordRing:

@@ -59,6 +59,29 @@ class TestStandardRouting:
         result = router.route(8, 200)
         assert result.latency_ms == pytest.approx(10.0 * result.hops)
 
+    def test_counter_clockwise_routes_are_logarithmic(self):
+        """Back fingers make CCW routes O(log n), not an O(n) predecessor walk."""
+        import random
+
+        idspace = IdSpace(bits=16)
+        rng = random.Random(5)
+        node_ids = sorted(rng.sample(range(idspace.size), 256))
+        ring = ChordRing(idspace, auto_stabilize=False)
+        for node_id in node_ids:
+            ring.join(node_id)
+        ring.stabilize()
+        router = KBRRouter(ring)
+        lengths = []
+        for start in rng.sample(node_ids, 40):
+            # A key just behind the start node: the worst case for forward-only
+            # fingers (nearly a full clockwise lap, or an O(n) backward walk).
+            key = (start - 1 - rng.randrange(idspace.size // 16)) % idspace.size
+            result = router.route(start, key)
+            assert result.destination == ring.owner_of(key).node_id
+            lengths.append(result.hops)
+        assert max(lengths) <= 16  # O(log 256) = 8 expected, generous bound
+        assert sum(lengths) / len(lengths) <= 10
+
     def test_routing_around_failed_node(self, ring: ChordRing):
         router = KBRRouter(ring)
         ring.fail(72)  # no stabilisation: other nodes still point at 72

@@ -29,7 +29,9 @@ def test_every_sweep_has_a_committed_golden():
 
 
 def test_goldens_do_not_outlive_the_registry():
-    committed = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    # Non-default-scale goldens are named "<sweep>@<scale>x.json"; they pin
+    # the same registered sweep at a different scale (the nightly tier).
+    committed = {path.stem.split("@")[0] for path in GOLDEN_DIR.glob("*.json")}
     stale = committed - set(sweep_names())
     assert not stale, f"sweep goldens without a registered sweep: {sorted(stale)}"
 
@@ -47,6 +49,28 @@ def test_goldens_are_pinned_to_golden_scale_and_seed():
         committed = sweep_golden.load_sweep_golden(name, GOLDEN_DIR)
         assert committed["scale"] == sweep_golden.SWEEP_GOLDEN_SCALE
         assert committed["base_seed"] == 42
+
+
+def test_paper_scale_sweep_golden_is_committed_and_pinned():
+    """The nightly tier re-runs Table 2a at scale 1.0; pin its golden here.
+
+    The full-grid verification happens in the nightly workflow (minutes);
+    this tier-1 test only asserts the committed file exists, targets the
+    registered sweep, and is pinned to the genuine scale/seed — so the
+    golden cannot silently vanish or drift structurally.
+    """
+    committed = sweep_golden.load_sweep_golden(
+        "table2a-gossip-length", GOLDEN_DIR, scale=1.0
+    )
+    assert committed["sweep"] == "table2a-gossip-length"
+    assert committed["scale"] == 1.0
+    assert committed["base_seed"] == 42
+    # The grid shape must match the registered sweep (same axis values).
+    default_scale = sweep_golden.load_sweep_golden("table2a-gossip-length", GOLDEN_DIR)
+    assert [axis["values"] for axis in committed["axes"]] == [
+        axis["values"] for axis in default_scale["axes"]
+    ]
+    assert len(committed["cells"]) == len(default_scale["cells"])
 
 
 # -- unit tests of the comparison machinery ----------------------------------
