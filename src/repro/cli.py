@@ -26,6 +26,7 @@ sets; ``scenarios run`` additionally supports the golden-metrics workflow
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import os
 import sys
@@ -49,6 +50,7 @@ from repro import perf as perf_module
 from repro.scenarios import diffing as diffing_module
 from repro.scenarios import golden as golden_module
 from repro.scenarios import parallel as parallel_module
+from repro.scenarios import models as models_module
 from repro.scenarios.library import get_scenario, iter_scenarios
 from repro.scenarios.runner import run_scenario
 from repro.scenarios.spec import ScenarioSpec
@@ -123,6 +125,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verbs = scenarios.add_subparsers(dest="verb", required=True)
     verbs.add_parser("list", help="list the scenario library")
+    verbs.add_parser(
+        "models",
+        help="list the registered churn and fault models with their parameters",
+    )
     show_verb = verbs.add_parser(
         "show", help="print one scenario's fully resolved spec, program and models"
     )
@@ -518,6 +524,50 @@ def _command_scenarios_list(out) -> int:
     return 0
 
 
+def _command_scenarios_models(out) -> int:
+    """The ``scenarios models`` verb: the churn/fault model registries.
+
+    Every registered model is listed with its constructor parameters (the
+    keys a :class:`~repro.scenarios.models.ModelRef` accepts) and the first
+    line of its docstring, so a spec author can discover what a scenario's
+    ``churn_model=`` / ``fault_model=`` fields may refer to without reading
+    the registry source.
+    """
+    for kind, factories in (
+        ("Churn", models_module.churn_model_factories()),
+        ("Fault", models_module.fault_model_factories()),
+    ):
+        rows = []
+        for name, factory in factories.items():
+            try:
+                parameters = [
+                    parameter
+                    for parameter in inspect.signature(factory).parameters.values()
+                    if parameter.name != "self"
+                    and parameter.kind is not inspect.Parameter.VAR_KEYWORD
+                ]
+            except (TypeError, ValueError):  # builtins without signatures
+                parameters = []
+            rendered = ", ".join(
+                parameter.name
+                if parameter.default is inspect.Parameter.empty
+                else f"{parameter.name}={parameter.default!r}"
+                for parameter in parameters
+            )
+            doc = inspect.getdoc(factory) or ""
+            summary = doc.splitlines()[0] if doc else ""
+            rows.append((name, rendered or "(none)", summary))
+        print(
+            format_table(
+                ["model", "parameters", "description"],
+                rows,
+                title=f"{kind} models",
+            ),
+            file=out,
+        )
+    return 0
+
+
 def _command_scenarios_show(args: argparse.Namespace, out) -> int:
     """The ``scenarios show`` verb: resolved spec + program, for debugging."""
     try:
@@ -798,6 +848,8 @@ def _dispatch(args: argparse.Namespace, out) -> int:
     if args.command == "scenarios":
         if args.verb == "list":
             return _command_scenarios_list(out)
+        if args.verb == "models":
+            return _command_scenarios_models(out)
         if args.verb == "show":
             return _command_scenarios_show(args, out)
         if args.verb == "diff":

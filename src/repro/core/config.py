@@ -120,6 +120,16 @@ class FlowerConfig:
     content_miss_fallback: str = "server"
     #: maximum providers tried after redirection failures before giving up
     max_redirection_attempts: int = 3
+    #: latency charged for a redirection/directory attempt that times out
+    #: because the target is unreachable (only relevant with a reachability
+    #: model attached)
+    redirect_timeout_ms: float = 500.0
+    #: initial suspicion backoff after a contact times out: the contact is
+    #: skipped during redirection for this long (doubling per consecutive
+    #: timeout)
+    suspicion_backoff_s: float = 60.0
+    #: upper bound of the doubling suspicion backoff
+    suspicion_backoff_max_s: float = 1800.0
     #: optional bound on a content peer's cache (None = unbounded, the paper's
     #: assumption); when set, an LRU policy evicts the oldest objects.
     content_cache_capacity: int | None = None
@@ -154,6 +164,14 @@ class FlowerConfig:
             raise ValueError("content_miss_fallback must be 'server' or 'directory'")
         if self.max_redirection_attempts <= 0:
             raise ValueError("max_redirection_attempts must be positive")
+        if self.redirect_timeout_ms <= 0:
+            raise ValueError("redirect_timeout_ms must be positive")
+        if self.suspicion_backoff_s <= 0:
+            raise ValueError("suspicion_backoff_s must be positive")
+        if self.suspicion_backoff_max_s < self.suspicion_backoff_s:
+            raise ValueError(
+                "suspicion_backoff_max_s must be >= suspicion_backoff_s"
+            )
         if self.content_cache_capacity is not None and self.content_cache_capacity <= 0:
             raise ValueError("content_cache_capacity must be positive or None")
         if self.simulation_duration_s <= 0:

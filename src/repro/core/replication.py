@@ -144,6 +144,15 @@ class ActiveReplicator:
             # Place the copy at the member currently holding the fewest objects,
             # spreading the storage load across the target overlay.
             receiver = min(members, key=lambda peer: (peer.num_objects, peer.peer_id))
+            if system.reachability is not None and not system._delivery_allowed(  # noqa: SLF001
+                "replication",
+                source.host_id,
+                receiver.host_id,
+                source.peer_id,
+                receiver.peer_id,
+            ):
+                # The replica push is lost in transit; retried next round.
+                continue
             receiver.store_object(object_id)
             target.register_client(receiver.peer_id, object_id)
             self.events.append(

@@ -13,7 +13,13 @@
   processes (Algorithms 4 and 5), whose traffic is charged to the
   :class:`~repro.metrics.collectors.BandwidthAccountant`;
 * directory failures are repaired with the replacement protocol of
-  Section 5.2.
+  Section 5.2;
+* an optional :class:`~repro.network.reachability.ReachabilityModel`
+  (attached via :meth:`FlowerCDN.attach_reachability`) gates every protocol
+  message — gossip, keepalives, pushes, queries, redirections, D-ring
+  summaries, replication — enabling partitions, outages and message loss;
+  without one attached every gate site short-circuits on a ``None`` check
+  and runs remain byte-identical to the ungated code.
 """
 
 from __future__ import annotations
@@ -34,7 +40,9 @@ from repro.metrics.collectors import (
     QueryOutcome,
     QueryRecord,
 )
+from repro.metrics.resilience import summarise_resilience
 from repro.network.latency import LatencyModel
+from repro.network.reachability import DeliveryStats, ReachabilityModel
 from repro.network.topology import Topology
 from repro.overlay.pastry import PastryRing
 from repro.sim.engine import Simulator
@@ -124,6 +132,18 @@ class FlowerCDN:
         #: check per tick and keeps runs byte-identical — the hook the
         #: "gossip-loss" fault model attaches through.
         self.gossip_message_filter: Optional[Callable[[ContentPeer, ContentPeer], bool]] = None
+        #: optional message-delivery gate (see repro.network.reachability):
+        #: when attached, every protocol interaction consults it through
+        #: ``_delivery_allowed``; ``None`` keeps runs byte-identical.
+        self.reachability: Optional[ReachabilityModel] = None
+        #: per-run delivery counters, created on model attachment and kept
+        #: after detachment so end-of-run reporting still sees them
+        self.delivery_stats: Optional[DeliveryStats] = None
+        self._last_reachability: Optional[ReachabilityModel] = None
+        #: contact-suspicion backoff state: contact id -> earliest retry time
+        self._suspicion_until: Dict[str, float] = {}
+        self._suspicion_streak: Dict[str, int] = {}
+        self._redirect_timeout_ms = config.redirect_timeout_ms
         self.dring = DRing(self.keys, latency_callback=self._peer_latency, ring=substrate)
         self.metrics = MetricsCollector(
             window_s=config.metrics_window_s, retain_records=not compact_metrics
@@ -206,6 +226,143 @@ class FlowerCDN:
             directory_peer=directory.peer_id if directory else None,
             directory_index_size=directory.index_size if directory else 0,
             unique_objects_indexed=len(directory.indexed_objects()) if directory else 0,
+        )
+
+    # ------------------------------------------------------------------ reachability
+
+    def attach_reachability(self, model: ReachabilityModel) -> None:
+        """Install the message-delivery gate (at most one model per system)."""
+        if self.reachability is not None:
+            raise RuntimeError("a reachability model is already attached")
+        self.reachability = model
+        self.delivery_stats = DeliveryStats()
+
+    def detach_reachability(self) -> Optional[ReachabilityModel]:
+        """Remove the delivery gate, keeping its stats for end-of-run reports."""
+        model = self.reachability
+        if model is not None:
+            self._last_reachability = model
+        self.reachability = None
+        self._suspicion_until.clear()
+        self._suspicion_streak.clear()
+        return model
+
+    def _delivery_allowed(
+        self,
+        kind: str,
+        src_host: int,
+        dst_host: int,
+        src_id: Optional[str] = None,
+        dst_id: Optional[str] = None,
+    ) -> bool:
+        """Consult the attached model for one message (callers ensure it is set)."""
+        stats = self.delivery_stats
+        if self.reachability.allows(kind, src_host, dst_host, src_id, dst_id, self.sim.now):
+            stats.count_delivered(kind)
+            return True
+        stats.count_blocked(kind)
+        return False
+
+    def _suspect(self, contact: str, now: float) -> None:
+        """Back off from a contact that timed out: doubling suspicion window."""
+        streak = self._suspicion_streak.get(contact, 0) + 1
+        self._suspicion_streak[contact] = streak
+        backoff = min(
+            self.config.suspicion_backoff_s * (2 ** (streak - 1)),
+            self.config.suspicion_backoff_max_s,
+        )
+        self._suspicion_until[contact] = now + backoff
+
+    def _clear_suspicion(self, contact: str) -> None:
+        self._suspicion_until.pop(contact, None)
+        self._suspicion_streak.pop(contact, None)
+
+    def reconcile(self, localities: Optional[Tuple[int, ...]] = None) -> None:
+        """Post-heal reconciliation through the existing state-transfer paths.
+
+        After a partition heals, peers in the affected localities do not wait
+        for their next periodic tick: every alive content peer immediately
+        re-announces itself to its directory (keepalive, plus a delta push if
+        it accumulated content changes during the fault), and every affected
+        directory force-republishes its summary to its D-ring neighbours.
+        All messages still go through the delivery gate, so calling this
+        while the fault is active reconciles nothing — schedule it at the
+        heal time (episode windows are half-open, so the heal instant is
+        already reachable).
+        """
+        if self.delivery_stats is not None:
+            self.delivery_stats.reconciliations += 1
+        self._suspicion_until.clear()
+        self._suspicion_streak.clear()
+        affected = None if localities is None else set(localities)
+        for peer_id in self.alive_content_peer_ids():
+            peer = self._content_peers[peer_id]
+            if affected is not None and peer.locality not in affected:
+                continue
+            directory = self._current_directory(peer.website, peer.locality, detector=peer)
+            if directory is None:
+                continue
+            if self.reachability is not None and not self._delivery_allowed(
+                "keepalive", peer.host_id, directory.host_id, peer.peer_id, directory.peer_id
+            ):
+                continue
+            directory.handle_keepalive(peer.peer_id)
+            self.bandwidth.record_message(
+                self.sim.now, peer.peer_id, directory.peer_id, self._keepalive_bytes, "keepalive"
+            )
+            if peer._pending_added or peer._pending_removed:
+                if self.reachability is not None and not self._delivery_allowed(
+                    "push", peer.host_id, directory.host_id, peer.peer_id, directory.peer_id
+                ):
+                    continue
+                push = peer.build_push()
+                directory.handle_push(push)
+                peer.note_directory(directory.peer_id)
+                size = self.config.message_sizes.push_message_bytes(push.num_changes)
+                self.bandwidth.record_message(
+                    self.sim.now, peer.peer_id, directory.peer_id, size, "push"
+                )
+        for website, locality in self.active_directory_pairs():
+            if affected is not None and locality not in affected:
+                continue
+            directory = self.directory_for(website, locality)
+            if directory is None or not directory.alive:
+                continue
+            summary = directory.publish_summary()
+            size = self._summary_refresh_bytes
+            for neighbor_placement in self.dring.neighbors_of(website, locality):
+                neighbor = self._directory_peers.get(neighbor_placement.peer_id)
+                if neighbor is None or not neighbor.alive:
+                    continue
+                if self.reachability is not None and not self._delivery_allowed(
+                    "summary",
+                    directory.host_id,
+                    neighbor.host_id,
+                    directory.peer_id,
+                    neighbor.peer_id,
+                ):
+                    continue
+                neighbor.store_neighbor_summary(directory.peer_id, summary.copy())
+                self.bandwidth.record_message(
+                    self.sim.now, directory.peer_id, neighbor.peer_id, size, "summary"
+                )
+
+    def resilience_summary(self, duration_s: Optional[float] = None) -> Optional[Dict[str, float]]:
+        """The ``resilience_*`` metric block, or ``None`` when no model ran.
+
+        Only models with ``emits_metrics`` produce a block, so adapters that
+        must keep pre-existing goldens byte-identical (the re-routed
+        gossip-loss filter) stay invisible here.
+        """
+        model = self.reachability or self._last_reachability
+        if model is None or self.delivery_stats is None or not model.emits_metrics:
+            return None
+        duration = duration_s if duration_s is not None else self.config.simulation_duration_s
+        return summarise_resilience(
+            self.metrics.hit_ratio_series,
+            model.fault_windows(),
+            duration,
+            self.delivery_stats,
         )
 
     # ------------------------------------------------------------------ bootstrap
@@ -308,57 +465,122 @@ class FlowerCDN:
         host_latency = self._host_latency
         peer_host = peer.host_id
         candidates = peer.resolve_locally(object_id)
-        for contact in candidates[: self._max_redirects]:
-            provider = self._content_peers.get(contact)
-            latency += host_latency(peer_host, self._host_of_contact(contact, peer))
-            if provider is None or not provider.alive:
-                peer.forget_contact(contact)
-                failures += 1
-                continue
-            if object_id not in provider._objects:
-                # Stale or false-positive summary: a redirection failure.
-                failures += 1
-                continue
-            distance = host_latency(peer_host, provider.host_id)
-            self._after_served(peer, object_id)
-            return QueryRecord(
-                query_id=query.query_id,
-                time=query.time,
-                website=query.website,
-                locality=query.locality,
-                outcome=QueryOutcome.LOCAL_OVERLAY_HIT,
-                lookup_latency_ms=latency,
-                transfer_distance_ms=distance,
-                provider=provider.peer_id,
-                redirection_failures=failures,
-            )
-
-        if self._directory_fallback:
-            directory = self._current_directory(query.website, query.locality, peer)
-            if directory is not None:
-                latency += host_latency(peer_host, directory.host_id)
-                flow = self._run_directory_flow(directory, object_id, query.locality)
-                latency += flow.latency_ms
-                failures += flow.redirection_failures
+        reach = self.reachability
+        blocked_attempts = 0
+        if reach is None:
+            # Ungated fast path: byte-identical to the pre-reachability code.
+            for contact in candidates[: self._max_redirects]:
+                provider = self._content_peers.get(contact)
+                latency += host_latency(peer_host, self._host_of_contact(contact, peer))
+                if provider is None or not provider.alive:
+                    peer.forget_contact(contact)
+                    failures += 1
+                    continue
+                if object_id not in provider._objects:
+                    # Stale or false-positive summary: a redirection failure.
+                    failures += 1
+                    continue
+                distance = host_latency(peer_host, provider.host_id)
                 self._after_served(peer, object_id)
-                distance = (
-                    host_latency(peer_host, flow.provider_host)
-                    if flow.provider_host is not None
-                    else self._server_latency_ms
-                )
                 return QueryRecord(
                     query_id=query.query_id,
                     time=query.time,
                     website=query.website,
                     locality=query.locality,
-                    outcome=flow.outcome,
+                    outcome=QueryOutcome.LOCAL_OVERLAY_HIT,
                     lookup_latency_ms=latency,
                     transfer_distance_ms=distance,
-                    provider=flow.provider,
+                    provider=provider.peer_id,
+                    redirection_failures=failures,
+                )
+        else:
+            # Gated retry loop: per-attempt timeout on unreachable providers
+            # and suspicion backoff, still bounded by max_redirection_attempts.
+            now = self.sim.now
+            stats = self.delivery_stats
+            attempts = 0
+            for contact in candidates:
+                if attempts >= self._max_redirects:
+                    break
+                not_before = self._suspicion_until.get(contact)
+                if not_before is not None and now < not_before:
+                    # Suspected-unreachable contact: skip without spending an
+                    # attempt, the next candidate is tried instead.
+                    stats.suspicion_skips += 1
+                    continue
+                attempts += 1
+                target_host = self._host_of_contact(contact, peer)
+                if not self._delivery_allowed(
+                    "redirect", peer_host, target_host, peer.peer_id, contact
+                ):
+                    # The redirected request times out in transit: the peer
+                    # pays the timeout, suspects the contact, and retries.
+                    latency += self._redirect_timeout_ms
+                    failures += 1
+                    blocked_attempts += 1
+                    self._suspect(contact, now)
+                    continue
+                provider = self._content_peers.get(contact)
+                latency += host_latency(peer_host, target_host)
+                if provider is None or not provider.alive:
+                    peer.forget_contact(contact)
+                    failures += 1
+                    continue
+                if object_id not in provider._objects:
+                    failures += 1
+                    continue
+                self._clear_suspicion(contact)
+                distance = host_latency(peer_host, provider.host_id)
+                self._after_served(peer, object_id)
+                return QueryRecord(
+                    query_id=query.query_id,
+                    time=query.time,
+                    website=query.website,
+                    locality=query.locality,
+                    outcome=QueryOutcome.LOCAL_OVERLAY_HIT,
+                    lookup_latency_ms=latency,
+                    transfer_distance_ms=distance,
+                    provider=provider.peer_id,
                     redirection_failures=failures,
                 )
 
+        if self._directory_fallback:
+            directory = self._current_directory(query.website, query.locality, peer)
+            if directory is not None:
+                if reach is not None and not self._delivery_allowed(
+                    "query", peer_host, directory.host_id, peer.peer_id, directory.peer_id
+                ):
+                    # Graceful degradation: the directory is alive but
+                    # unreachable, so the peer times out and falls back to
+                    # the origin server instead of declaring it failed.
+                    self.delivery_stats.server_fallbacks += 1
+                    latency += self._redirect_timeout_ms
+                else:
+                    latency += host_latency(peer_host, directory.host_id)
+                    flow = self._run_directory_flow(directory, object_id, query.locality)
+                    latency += flow.latency_ms
+                    failures += flow.redirection_failures
+                    self._after_served(peer, object_id)
+                    distance = (
+                        host_latency(peer_host, flow.provider_host)
+                        if flow.provider_host is not None
+                        else self._server_latency_ms
+                    )
+                    return QueryRecord(
+                        query_id=query.query_id,
+                        time=query.time,
+                        website=query.website,
+                        locality=query.locality,
+                        outcome=flow.outcome,
+                        lookup_latency_ms=latency,
+                        transfer_distance_ms=distance,
+                        provider=flow.provider,
+                        redirection_failures=failures,
+                    )
+
         # Fall back to the origin web server.
+        if reach is not None and blocked_attempts:
+            self.delivery_stats.retries_exhausted += 1
         latency += self._server_latency_ms
         self._after_served(peer, object_id)
         return QueryRecord(
@@ -394,28 +616,56 @@ class FlowerCDN:
         latency = 0.0
         hops = 0
         serving_directory: Optional[DirectoryPeer] = None
+        reach = self.reachability
         if bootstrap_node is not None:
             bootstrap_placement = self.dring.placement_at(bootstrap_node)
+            bootstrap_blocked = False
             if bootstrap_placement is not None:
-                latency += self._host_latency(
-                    client_host, self.latency.host_of(bootstrap_placement.peer_id)
+                bootstrap_host = self.latency.host_of(bootstrap_placement.peer_id)
+                if reach is not None and not self._delivery_allowed(
+                    "query", client_host, bootstrap_host, None, bootstrap_placement.peer_id
+                ):
+                    # The D-ring entry point is unreachable: the new client
+                    # times out and degrades to the origin server directly.
+                    latency += self._redirect_timeout_ms
+                    self.delivery_stats.server_fallbacks += 1
+                    bootstrap_blocked = True
+                else:
+                    latency += self._host_latency(client_host, bootstrap_host)
+            if not bootstrap_blocked:
+                placement, route = self.dring.resolve_directory(
+                    query.website, query.locality, start_node_id=bootstrap_node
                 )
-            placement, route = self.dring.resolve_directory(
-                query.website, query.locality, start_node_id=bootstrap_node
-            )
-            latency += route.latency_ms
-            hops = route.hops
-            if placement is not None:
-                serving_directory = self._directory_peers.get(placement.peer_id)
+                latency += route.latency_ms
+                hops = route.hops
+                if placement is not None:
+                    serving_directory = self._directory_peers.get(placement.peer_id)
 
         # 2. Algorithm 3 at the delivering directory peer.
         if serving_directory is not None and serving_directory.alive:
-            flow = self._run_directory_flow(serving_directory, object_id, query.locality)
-            latency += flow.latency_ms
-            outcome = flow.outcome
-            provider = flow.provider
-            provider_host = flow.provider_host
-            failures = flow.redirection_failures
+            if reach is not None and not self._delivery_allowed(
+                "query",
+                client_host,
+                serving_directory.host_id,
+                None,
+                serving_directory.peer_id,
+            ):
+                # The serving directory is alive but unreachable: time out
+                # and degrade to the origin server (no replacement protocol).
+                latency += self._redirect_timeout_ms
+                self.delivery_stats.server_fallbacks += 1
+                outcome = QueryOutcome.SERVER_MISS
+                provider = None
+                provider_host = None
+                failures = 0
+                latency += self.latency.server_latency_ms
+            else:
+                flow = self._run_directory_flow(serving_directory, object_id, query.locality)
+                latency += flow.latency_ms
+                outcome = flow.outcome
+                provider = flow.provider
+                provider_host = flow.provider_host
+                failures = flow.redirection_failures
         else:
             outcome = QueryOutcome.SERVER_MISS
             provider = None
@@ -466,6 +716,16 @@ class FlowerCDN:
                 target_host = (
                     provider.host_id if provider is not None else current.host_id
                 )
+                if self.reachability is not None and not self._delivery_allowed(
+                    "redirect", current.host_id, target_host, current.peer_id, decision.target
+                ):
+                    # Timed-out redirection: the entry is not known stale, so
+                    # it is kept (no remove_client) and the next candidate is
+                    # tried within the same attempt budget.
+                    latency += self._redirect_timeout_ms
+                    tried_providers.append(decision.target)
+                    failures += 1
+                    continue
                 latency += self._host_latency(current.host_id, target_host)
                 if provider is None or not provider.alive or object_id not in provider._objects:
                     # Redirection failure: drop the stale entry and retry.
@@ -491,6 +751,20 @@ class FlowerCDN:
                 if next_directory is None or not next_directory.alive:
                     failures += 1
                     current.drop_neighbor(decision.target)
+                    continue
+                if self.reachability is not None and not self._delivery_allowed(
+                    "dring",
+                    current.host_id,
+                    next_directory.host_id,
+                    current.peer_id,
+                    next_directory.peer_id,
+                ):
+                    # The neighbour is alive but unreachable: do not drop it
+                    # (that would mis-trigger Section 5.2 repair); mark it
+                    # visited so this query stops re-selecting it.
+                    latency += self._redirect_timeout_ms
+                    failures += 1
+                    visited.append(decision.target)
                     continue
                 latency += self._host_latency(current.host_id, next_directory.host_id)
                 current = next_directory
@@ -612,6 +886,12 @@ class FlowerCDN:
             partner = self._content_peers.get(partner_id)
             if partner is None or not partner.alive:
                 peer.forget_contact(partner_id)
+            elif self.reachability is not None and not self._delivery_allowed(
+                "gossip", peer.host_id, partner.host_id, peer.peer_id, partner.peer_id
+            ):
+                # Message lost in transit (partition / outage / link loss):
+                # same consequences as a dropped filter message below.
+                pass
             elif (
                 self.gossip_message_filter is not None
                 and not self.gossip_message_filter(peer, partner)
@@ -650,6 +930,12 @@ class FlowerCDN:
         directory = self._current_directory(peer.website, peer.locality, detector=peer)
         if directory is None:
             return
+        if self.reachability is not None and not self._delivery_allowed(
+            "push", peer.host_id, directory.host_id, peer.peer_id, directory.peer_id
+        ):
+            # The push is deferred: pending changes keep accumulating and the
+            # next threshold crossing (or post-heal reconcile) retries.
+            return
         push = peer.build_push()
         directory.handle_push(push)
         peer.note_directory(directory.peer_id)
@@ -661,6 +947,12 @@ class FlowerCDN:
             return
         directory = self._current_directory(peer.website, peer.locality, detector=peer)
         if directory is None:
+            return
+        if self.reachability is not None and not self._delivery_allowed(
+            "keepalive", peer.host_id, directory.host_id, peer.peer_id, directory.peer_id
+        ):
+            # Lost keepalive: the directory's ageing continues and may evict
+            # this peer's entries until the network heals.
             return
         directory.handle_keepalive(peer.peer_id)
         size = self._keepalive_bytes
@@ -684,6 +976,14 @@ class FlowerCDN:
             ):
                 neighbor = self._directory_peers.get(neighbor_placement.peer_id)
                 if neighbor is None or not neighbor.alive:
+                    continue
+                if self.reachability is not None and not self._delivery_allowed(
+                    "summary",
+                    directory.host_id,
+                    neighbor.host_id,
+                    directory.peer_id,
+                    neighbor.peer_id,
+                ):
                     continue
                 neighbor.store_neighbor_summary(directory.peer_id, summary.copy())
                 self.bandwidth.record_message(

@@ -138,6 +138,9 @@ class RunResult:
     bandwidth: Optional[BandwidthAccountant] = None
     #: events dispatched by the simulator during this run (perf accounting)
     events_fired: int = 0
+    #: resilience_* metric block of a run with a metric-emitting reachability
+    #: model attached; None otherwise (see repro.metrics.resilience)
+    resilience: Optional[dict] = None
 
     def summary_row(self) -> tuple:
         return (
@@ -336,6 +339,7 @@ class ExperimentRunner:
             metrics=metrics,
             bandwidth=system.bandwidth,
             events_fired=sim.events_fired,
+            resilience=system.resilience_summary(duration),
         )
 
     def run_squirrel(self) -> RunResult:

@@ -15,6 +15,11 @@ from repro.metrics.collectors import (
     QueryRecord,
 )
 from repro.metrics.histogram import Histogram
+from repro.metrics.resilience import (
+    PRE_FAULT_WINDOW_COUNT,
+    RECOVERY_TOLERANCE,
+    summarise_resilience,
+)
 from repro.metrics.timeseries import TimeSeries
 from repro.metrics.report import format_table, percentiles_table
 
@@ -27,4 +32,7 @@ __all__ = [
     "TimeSeries",
     "format_table",
     "percentiles_table",
+    "summarise_resilience",
+    "RECOVERY_TOLERANCE",
+    "PRE_FAULT_WINDOW_COUNT",
 ]

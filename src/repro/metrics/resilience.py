@@ -1,0 +1,105 @@
+"""Resilience metrics: how the system behaves across a fault window.
+
+The reachability layer (``repro.network.reachability``) injects network
+faults with explicit ``(start, end)`` episodes; this module turns the
+windowed hit-ratio series of such a run into the headline numbers the
+resilience scenarios golden-check:
+
+* ``resilience_hit_ratio_pre_fault`` — steady-state hit ratio just before
+  the first fault window (mean of the trailing pre-fault windows, so the
+  cold-start ramp does not drag it down);
+* ``resilience_availability_during_fault`` — mean per-window hit ratio of
+  the windows overlapping any fault episode: the availability the system
+  sustains while degraded;
+* ``resilience_time_to_recover_s`` — time from the last heal until the
+  first completed window whose hit ratio is back within
+  :data:`RECOVERY_TOLERANCE` of the pre-fault steady state (``-1.0`` when
+  the run never recovers, or ends before a post-heal window completes);
+* delivery-gate counters (messages blocked, redirection retries that ran
+  out, origin-server fallbacks, reconciliation rounds).
+
+Models without a temporal footprint (stationary link loss) report the
+counters but ``-1.0`` for the three window-based metrics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (network <- core <- metrics)
+    from repro.metrics.timeseries import TimeSeries
+    from repro.network.reachability import DeliveryStats
+
+__all__ = ["RECOVERY_TOLERANCE", "PRE_FAULT_WINDOW_COUNT", "summarise_resilience"]
+
+#: a post-heal window counts as recovered when its hit ratio is within this
+#: absolute distance of the pre-fault steady state
+RECOVERY_TOLERANCE = 0.05
+
+#: how many trailing pre-fault windows define the steady-state baseline
+PRE_FAULT_WINDOW_COUNT = 3
+
+
+def _window_metrics(
+    series: "TimeSeries",
+    fault_windows: Sequence[Tuple[float, float]],
+    duration_s: float,
+) -> Dict[str, float]:
+    width = series.window_s
+    means = series.window_means()
+    fault_start = min(start for start, _ in fault_windows)
+    heal = max(end for _, end in fault_windows)
+
+    pre = [mean for start, mean in means if start + width <= fault_start]
+    pre_mean = (
+        sum(pre[-PRE_FAULT_WINDOW_COUNT:]) / len(pre[-PRE_FAULT_WINDOW_COUNT:])
+        if pre
+        else -1.0
+    )
+
+    during = [
+        mean
+        for start, mean in means
+        if any(start < end and start + width > begin for begin, end in fault_windows)
+    ]
+    during_mean = sum(during) / len(during) if during else -1.0
+
+    recovery_s = -1.0
+    if pre_mean >= 0.0:
+        for start, mean in means:
+            if start < heal or start + width > duration_s:
+                continue
+            if mean >= pre_mean - RECOVERY_TOLERANCE:
+                recovery_s = (start + width) - heal
+                break
+    return {
+        "resilience_hit_ratio_pre_fault": pre_mean,
+        "resilience_availability_during_fault": during_mean,
+        "resilience_time_to_recover_s": recovery_s,
+    }
+
+
+def summarise_resilience(
+    hit_ratio_series: "TimeSeries",
+    fault_windows: Sequence[Tuple[float, float]],
+    duration_s: float,
+    stats: "DeliveryStats",
+) -> Dict[str, float]:
+    """The ``resilience_*`` headline block for one faulted run."""
+    summary: Dict[str, float] = {
+        "resilience_messages_blocked": stats.total_blocked,
+        "resilience_retries_exhausted": stats.retries_exhausted,
+        "resilience_server_fallbacks": stats.server_fallbacks,
+        "resilience_reconciliations": stats.reconciliations,
+    }
+    if fault_windows:
+        summary.update(_window_metrics(hit_ratio_series, fault_windows, duration_s))
+    else:
+        summary.update(
+            {
+                "resilience_hit_ratio_pre_fault": -1.0,
+                "resilience_availability_during_fault": -1.0,
+                "resilience_time_to_recover_s": -1.0,
+            }
+        )
+    return summary

@@ -11,10 +11,32 @@ package provides the equivalent synthetic substrate:
   of ``k`` localities from its latency vector to the landmarks.
 * :class:`repro.network.latency.LatencyModel` — the query/gossip message
   delay oracle used by the simulator.
+* :class:`repro.network.reachability.ReachabilityModel` — the message
+  delivery gate (partitions, outages, link loss) consulted by the system
+  for every protocol interaction.
 """
 
 from repro.network.latency import LatencyModel
 from repro.network.landmarks import LandmarkBinner
+from repro.network.reachability import (
+    MESSAGE_KINDS,
+    DeliveryStats,
+    HostOutage,
+    LinkLoss,
+    LocalityPartition,
+    ReachabilityModel,
+)
 from repro.network.topology import Topology, TopologyConfig
 
-__all__ = ["Topology", "TopologyConfig", "LandmarkBinner", "LatencyModel"]
+__all__ = [
+    "Topology",
+    "TopologyConfig",
+    "LandmarkBinner",
+    "LatencyModel",
+    "MESSAGE_KINDS",
+    "DeliveryStats",
+    "ReachabilityModel",
+    "LocalityPartition",
+    "HostOutage",
+    "LinkLoss",
+]

@@ -277,6 +277,90 @@ register_scenario(
     )
 )
 
+# -- resilience scenarios (reachability faults) ------------------------------
+
+register_scenario(
+    ScenarioSpec(
+        name="locality-partition",
+        description=(
+            "Locality 0 is cut off from the rest of the network for the "
+            "middle fifth of the run, and a hotspot rotation lands inside "
+            "the fault window: established overlays ride out the partition "
+            "(locality awareness keeps them self-contained), but clients "
+            "joining the newly hot websites cannot reach cross-boundary "
+            "D-ring bootstrap nodes, so their queries time out and degrade "
+            "to the origin server until a retry lands on a reachable node; "
+            "recovery after the heal is left to the periodic gossip/"
+            "keepalive machinery alone (contrast with "
+            "partition-heal-reconcile)."
+        ),
+        duration_s=3 * HOUR,
+        content_miss_fallback="directory",
+        program=(
+            WorkloadPhase(duration_s=81 * MINUTE),
+            WorkloadPhase(hotspot_rotation=2),
+        ),
+        fault_model=ModelRef.of(
+            "locality-partition",
+            at_fraction=0.4,
+            duration_fraction=0.2,
+            localities=(0,),
+            reconcile_on_heal=False,
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="partition-heal-reconcile",
+        description=(
+            "The same mid-run partition of locality 0 with a hotspot "
+            "rotation inside the fault window, but the instant the network "
+            "heals the affected locality runs an explicit reconciliation "
+            "round — immediate keepalives, deferred delta pushes and "
+            "directory summary refreshes — so the hit ratio snaps back to "
+            "its pre-partition steady state instead of drifting back over "
+            "the following periods."
+        ),
+        duration_s=3 * HOUR,
+        content_miss_fallback="directory",
+        program=(
+            WorkloadPhase(duration_s=81 * MINUTE),
+            WorkloadPhase(hotspot_rotation=2),
+        ),
+        fault_model=ModelRef.of(
+            "locality-partition",
+            at_fraction=0.4,
+            duration_fraction=0.2,
+            localities=(0,),
+            reconcile_on_heal=True,
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="cascading-directory-failures",
+        description=(
+            "A rolling outage across locality 0's directory hosts: starting "
+            "at 45% of the run the first four directory hosts become "
+            "unreachable one after the other, each for 18% of the run.  The "
+            "directories never die, so the Section 5.2 replacement protocol "
+            "must not fire; their overlays ride out the outage on origin-"
+            "server fallback until each host resurfaces."
+        ),
+        content_miss_fallback="directory",
+        fault_model=ModelRef.of(
+            "cascading-directory-failures",
+            start_fraction=0.45,
+            interval_fraction=0.04,
+            outage_duration_fraction=0.18,
+            count=4,
+            locality=0,
+        ),
+    )
+)
+
 register_scenario(
     ScenarioSpec(
         name="cache-bounded-peers",
@@ -344,6 +428,47 @@ SQUIRREL_HEAD_TO_HEAD_FULL_SCALE = register_scenario(
         duration_s=24 * HOUR,
         metrics_window_s=HOUR,
         systems=("flower", "squirrel"),
+        tier="paper-scale",
+        queue_backend="calendar",
+        compact_metrics=True,
+    )
+)
+
+
+#: the partition-heal-reconcile story at the genuine Table 1 scale: locality
+#: 0 of the 5000-host topology partitions for ~4.8 of the 24 simulated hours
+#: and reconciles on heal.  Nightly paper-scale tier; golden at scale 1.0.
+LOCALITY_PARTITION_FULL_SCALE = register_scenario(
+    ScenarioSpec(
+        name="locality-partition-full-scale",
+        description=(
+            "partition-heal-reconcile at the genuine Table 1 scale: locality "
+            "0 of the 5000-host topology is unreachable for the middle fifth "
+            "of the 24-hour run, a hotspot rotation lands inside the fault "
+            "window, and an explicit reconciliation round runs at the heal "
+            "— the paper-scale resilience tier."
+        ),
+        num_hosts=5000,
+        num_localities=6,
+        num_websites=100,
+        active_websites=6,
+        objects_per_website=500,
+        max_content_overlay_size=100,
+        query_rate_per_s=6.0,
+        duration_s=24 * HOUR,
+        metrics_window_s=HOUR,
+        content_miss_fallback="directory",
+        program=(
+            WorkloadPhase(duration_s=648 * MINUTE),
+            WorkloadPhase(hotspot_rotation=6),
+        ),
+        fault_model=ModelRef.of(
+            "locality-partition",
+            at_fraction=0.4,
+            duration_fraction=0.2,
+            localities=(0,),
+            reconcile_on_heal=True,
+        ),
         tier="paper-scale",
         queue_backend="calendar",
         compact_metrics=True,

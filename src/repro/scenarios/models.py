@@ -43,6 +43,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.churn import ChurnInjector, ChurnLogEntry
+from repro.network.reachability import (
+    MESSAGE_KINDS,
+    HostOutage,
+    LinkLoss,
+    LocalityPartition,
+    ReachabilityModel,
+)
 from repro.sim.process import PeriodicProcess
 
 #: default model names (the behaviour of pre-registry specs)
@@ -115,6 +122,16 @@ def churn_model_names() -> List[str]:
 
 def fault_model_names() -> List[str]:
     return sorted(_FAULT_MODELS)
+
+
+def churn_model_factories() -> Dict[str, Callable]:
+    """Registered churn-model factories by name (for discovery/CLI listings)."""
+    return dict(sorted(_CHURN_MODELS.items()))
+
+
+def fault_model_factories() -> Dict[str, Callable]:
+    """Registered fault-model factories by name (for discovery/CLI listings)."""
+    return dict(sorted(_FAULT_MODELS.items()))
 
 
 def build_churn_model(ref: ModelRef):
@@ -291,12 +308,43 @@ class ScheduledFaultInjector:
         self._events.clear()
 
 
+class _GossipLossModel(ReachabilityModel):
+    """Delivery-gate adapter of the gossip-loss fault: draws only for the
+    ``"gossip"`` kind, lets every other message kind through untouched, and
+    reports into its owning injector's counters/log.  ``emits_metrics`` is
+    off so the pre-reachability ``gossip-lossy`` golden stays byte-identical.
+    """
+
+    emits_metrics = False
+
+    def __init__(self, injector: "GossipLossInjector", stream, probability: float) -> None:
+        self._injector = injector
+        self._stream = stream
+        self._probability = probability
+
+    def allows(self, kind, src_host, dst_host, src_id, dst_id, now) -> bool:
+        if kind != "gossip":
+            return True
+        injector = self._injector
+        if self._stream.random() < self._probability:
+            injector.dropped += 1
+            injector.log.append(
+                ChurnLogEntry(time=now, kind="gossip_message_drop", target=src_id)
+            )
+            return False
+        injector.delivered += 1
+        return True
+
+
 class GossipLossInjector:
     """Drops gossip messages in transit with a fixed probability.
 
-    Attaches to the system's ``gossip_message_filter`` hook; drop decisions
-    draw from the dedicated ``"fault:gossip-loss"`` stream, so enabling the
-    model never perturbs any other random stream of the run.
+    Rides the system-wide delivery gate (message kind ``"gossip"`` only)
+    instead of the legacy ``gossip_message_filter`` hook, which remains
+    available for ad-hoc callers; drop decisions still draw from the
+    dedicated ``"fault:gossip-loss"`` stream in the same order as before,
+    so enabling the model never perturbs any other random stream and the
+    committed ``gossip-lossy`` golden is reproduced byte for byte.
     """
 
     def __init__(self, system, drop_probability: float) -> None:
@@ -308,29 +356,13 @@ class GossipLossInjector:
 
     def start(self) -> None:
         system = self._system
-        if system.gossip_message_filter is not None:
-            raise RuntimeError("another gossip-message filter is already attached")
         stream = system.sim.streams.stream("fault:gossip-loss")
-        probability = self._drop_probability
-
-        def deliver(peer, partner) -> bool:
-            if stream.random() < probability:
-                self.dropped += 1
-                self.log.append(
-                    ChurnLogEntry(
-                        time=system.sim.now,
-                        kind="gossip_message_drop",
-                        target=peer.peer_id,
-                    )
-                )
-                return False
-            self.delivered += 1
-            return True
-
-        system.gossip_message_filter = deliver
+        system.attach_reachability(
+            _GossipLossModel(self, stream, self._drop_probability)
+        )
 
     def stop(self) -> None:
-        self._system.gossip_message_filter = None
+        self._system.detach_reachability()
 
 
 @register_fault_model("gossip-loss")
@@ -420,3 +452,209 @@ class CorrelatedLocalityFaults:
                             target=f"({website}, {locality})",
                         )
                     )
+
+
+# -- reachability-backed fault models ------------------------------------------
+
+
+class ReachabilityInjector:
+    """Attaches a :class:`~repro.network.reachability.ReachabilityModel` to
+    the live system for the duration of a run, optionally scheduling explicit
+    post-heal reconciliation rounds (:meth:`FlowerCDN.reconcile`) at given
+    simulation times.
+    """
+
+    def __init__(
+        self,
+        system,
+        model: ReachabilityModel,
+        reconcile_at: Tuple[float, ...] = (),
+        localities: Optional[Tuple[int, ...]] = None,
+    ) -> None:
+        self._system = system
+        self._model = model
+        self._reconcile_at = tuple(reconcile_at)
+        self._localities = localities
+        self._events: list = []
+        self.log: List[ChurnLogEntry] = []
+
+    @property
+    def model(self) -> ReachabilityModel:
+        return self._model
+
+    def start(self) -> None:
+        system = self._system
+        system.attach_reachability(self._model)
+        for time in self._reconcile_at:
+            self._events.append(
+                system.sim.at(time, self._reconcile, label="fault")
+            )
+
+    def _reconcile(self) -> None:
+        system = self._system
+        system.reconcile(self._localities)
+        target = (
+            ",".join(str(loc) for loc in self._localities)
+            if self._localities is not None
+            else "all"
+        )
+        self.log.append(
+            ChurnLogEntry(
+                time=system.sim.now, kind="partition_heal_reconcile", target=target
+            )
+        )
+
+    def stop(self) -> None:
+        for event in self._events:
+            if not event.cancelled:
+                self._system.sim.cancel(event)
+        self._events.clear()
+        self._system.detach_reachability()
+
+
+@register_fault_model("locality-partition")
+class LocalityPartitionFault:
+    """A locality-level network partition: between ``at_fraction`` and
+    ``at_fraction + duration_fraction`` of the run, every message crossing
+    the boundary of the listed localities is lost (``asymmetric=True`` loses
+    only outbound messages).  Peers stay alive throughout — this is the
+    unreachable-not-failed regime that exercises redirection timeouts,
+    suspicion backoff and origin-server degradation.  With
+    ``reconcile_on_heal`` the affected localities run an explicit
+    reconciliation round (keepalives, delta pushes, summary refreshes) the
+    instant the partition heals instead of waiting for their periodic ticks.
+    """
+
+    def __init__(
+        self,
+        at_fraction: float = 0.4,
+        duration_fraction: float = 0.2,
+        localities: Tuple[int, ...] = (0,),
+        asymmetric: bool = False,
+        reconcile_on_heal: bool = True,
+    ) -> None:
+        if not 0.0 < at_fraction < 1.0:
+            raise ValueError("at_fraction must be in (0, 1)")
+        if not 0.0 < duration_fraction <= 1.0:
+            raise ValueError("duration_fraction must be in (0, 1]")
+        localities = tuple(localities)
+        if not localities or any(loc < 0 for loc in localities):
+            raise ValueError("localities must be a non-empty tuple of indices >= 0")
+        self.at_fraction = at_fraction
+        self.duration_fraction = duration_fraction
+        self.localities = localities
+        self.asymmetric = asymmetric
+        self.reconcile_on_heal = reconcile_on_heal
+
+    def attach(self, system, spec):
+        duration = system.config.simulation_duration_s
+        start = self.at_fraction * duration
+        end = min(duration, start + self.duration_fraction * duration)
+        model = LocalityPartition(
+            episodes=((start, end),),
+            localities=frozenset(self.localities),
+            locality_of=system.topology.locality_of,
+            asymmetric=self.asymmetric,
+        )
+        reconcile_at = (end,) if self.reconcile_on_heal and end < duration else ()
+        return ReachabilityInjector(
+            system, model, reconcile_at=reconcile_at, localities=self.localities
+        )
+
+
+@register_fault_model("link-loss")
+class LinkLossFault:
+    """Stationary per-message loss across the whole network: every gated
+    protocol message (or only the listed ``kinds``) is independently dropped
+    with ``drop_probability``.  Unlike ``gossip-loss`` this stresses *all*
+    protocol paths — keepalives, pushes, redirections, D-ring summaries and
+    replication — from the dedicated ``"fault:link-loss"`` stream.
+    """
+
+    def __init__(
+        self, drop_probability: float = 0.05, kinds: Tuple[str, ...] = ()
+    ) -> None:
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        kinds = tuple(kinds)
+        unknown = [kind for kind in kinds if kind not in MESSAGE_KINDS]
+        if unknown:
+            raise ValueError(
+                f"unknown message kind(s) {unknown}; known kinds: {MESSAGE_KINDS}"
+            )
+        self.drop_probability = drop_probability
+        self.kinds = kinds
+
+    def attach(self, system, spec):
+        if self.drop_probability == 0.0:
+            # No loss means no gate and no stream draws: the run stays
+            # byte-identical to the "none" fault model.
+            return None
+        stream = system.sim.streams.stream("fault:link-loss")
+        model = LinkLoss(self.drop_probability, stream, self.kinds)
+        return ReachabilityInjector(system, model)
+
+
+@register_fault_model("cascading-directory-failures")
+class CascadingDirectoryFailures:
+    """A cascade of directory outages: starting at ``start_fraction`` of the
+    run, the hosts of the first ``count`` directory peers of one locality
+    become unreachable one after the other (``interval_fraction`` apart),
+    each for ``outage_duration_fraction`` of the run.  The directories stay
+    alive, so the Section 5.2 replacement protocol must *not* fire; queries
+    degrade to the origin server until each host resurfaces.
+    """
+
+    def __init__(
+        self,
+        start_fraction: float = 0.3,
+        interval_fraction: float = 0.04,
+        outage_duration_fraction: float = 0.18,
+        count: int = 4,
+        locality: int = 0,
+        reconcile_on_heal: bool = False,
+    ) -> None:
+        if not 0.0 < start_fraction < 1.0:
+            raise ValueError("start_fraction must be in (0, 1)")
+        if interval_fraction < 0:
+            raise ValueError("interval_fraction must be non-negative")
+        if not 0.0 < outage_duration_fraction <= 1.0:
+            raise ValueError("outage_duration_fraction must be in (0, 1]")
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if locality < 0:
+            raise ValueError("locality must be non-negative")
+        self.start_fraction = start_fraction
+        self.interval_fraction = interval_fraction
+        self.outage_duration_fraction = outage_duration_fraction
+        self.count = count
+        self.locality = locality
+        self.reconcile_on_heal = reconcile_on_heal
+
+    def attach(self, system, spec):
+        duration = system.config.simulation_duration_s
+        start = self.start_fraction * duration
+        interval = self.interval_fraction * duration
+        outage = self.outage_duration_fraction * duration
+        windows: List[Tuple[int, float, float]] = []
+        # The system is already bootstrapped when models attach, so the
+        # sorted pair list pins the victim set deterministically.
+        for index, (website, locality) in enumerate(
+            system.active_directory_pairs(self.locality)[: self.count]
+        ):
+            directory = system.directory_for(website, locality)
+            if directory is None:
+                continue
+            begin = start + index * interval
+            end = min(duration, begin + outage)
+            if begin >= duration or end <= begin:
+                continue
+            windows.append((directory.host_id, begin, end))
+        if not windows:
+            return None
+        model = HostOutage(tuple(windows))
+        heal = max(end for _, _, end in windows)
+        reconcile_at = (heal,) if self.reconcile_on_heal and heal < duration else ()
+        return ReachabilityInjector(
+            system, model, reconcile_at=reconcile_at, localities=(self.locality,)
+        )

@@ -27,7 +27,14 @@ from repro.metrics.timeseries import TimeSeries
 from repro.scenarios.spec import ScenarioSpec
 
 #: digest metrics that are integer counts (never rounded in digests)
-INTEGER_METRICS = ("num_queries", "redirection_failures")
+INTEGER_METRICS = (
+    "num_queries",
+    "redirection_failures",
+    "resilience_messages_blocked",
+    "resilience_retries_exhausted",
+    "resilience_server_fallbacks",
+    "resilience_reconciliations",
+)
 
 
 def _phase_mean(series: TimeSeries, split_s: float, phase: str) -> float:
@@ -134,6 +141,10 @@ def summarise_system(spec: ScenarioSpec, system: str, run: RunResult) -> SystemR
         outcome_fractions.items(), key=lambda item: item[0].value
     ):
         headline[f"fraction_{outcome.value}"] = fraction
+    if run.resilience:
+        # Present only when a metric-emitting reachability model ran, so
+        # fault-free digests stay byte-identical to the pre-resilience ones.
+        headline.update(run.resilience)
 
     phases = {
         phase: {

@@ -108,6 +108,10 @@ class ScenarioSpec:
     #: optional LRU bound on each content peer's cache (None: unbounded,
     #: the paper's assumption)
     content_cache_capacity: Optional[int] = None
+    #: where a content peer sends a query its view cannot resolve: "server"
+    #: (the default) or "directory" (the ablation FlowerConfig documents;
+    #: resilience scenarios use it so partitions hit the directory path)
+    content_miss_fallback: str = "server"
 
     # -- workload ----------------------------------------------------------
     query_rate_per_s: float = 2.0
@@ -248,6 +252,7 @@ class ScenarioSpec:
             num_localities=self.num_localities,
             max_content_overlay_size=self.max_content_overlay_size,
             content_cache_capacity=self.content_cache_capacity,
+            content_miss_fallback=self.content_miss_fallback,
             locality_bits=self.locality_bits(),
             dht_substrate=self.dht_substrate,
             gossip=GossipConfig(

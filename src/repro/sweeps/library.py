@@ -29,6 +29,7 @@ from repro.experiments.gossip_tradeoff import (
     PAPER_VIEW_SIZES,
 )
 from repro.scenarios.library import get_scenario
+from repro.scenarios.models import ModelRef
 from repro.scenarios.spec import ChurnProfile
 from repro.sweeps.spec import SweepAxis, SweepSpec
 
@@ -176,6 +177,51 @@ register_sweep(
                 fields=("churn",),
                 values=((ChurnProfile(),), (_HALF_HEAVY_CHURN,)),
                 display=("none", "half-heavy"),
+            ),
+        ),
+    )
+)
+
+#: partition lengths swept by ``resilience-partition-gossip``, as fractions
+#: of the run (the fault always starts at 40% and reconciles on heal)
+PARTITION_DURATION_FRACTIONS = (0.1, 0.2, 0.3)
+
+register_sweep(
+    SweepSpec(
+        name="resilience-partition-gossip",
+        description=(
+            "Resilience grid: how long locality 0 stays partitioned x how "
+            "often peers gossip (keepalives move in lockstep, as in Table "
+            "2(b)).  Longer partitions depress availability inside the "
+            "fault window; shorter gossip periods buy back recovery time "
+            "after the heal — the trade-off the reconciliation round is "
+            "designed to sidestep."
+        ),
+        base="partition-heal-reconcile",
+        axes=(
+            SweepAxis(
+                label="partition",
+                fields=("fault_model",),
+                values=tuple(
+                    (
+                        ModelRef.of(
+                            "locality-partition",
+                            at_fraction=0.4,
+                            duration_fraction=fraction,
+                            localities=(0,),
+                            reconcile_on_heal=True,
+                        ),
+                    )
+                    for fraction in PARTITION_DURATION_FRACTIONS
+                ),
+                display=tuple(
+                    f"{fraction:.0%} of run" for fraction in PARTITION_DURATION_FRACTIONS
+                ),
+            ),
+            SweepAxis(
+                label="Tgossip(s)",
+                fields=("gossip_period_s", "keepalive_period_s"),
+                values=((900.0, 900.0), (1800.0, 1800.0)),
             ),
         ),
     )

@@ -1,0 +1,136 @@
+"""Recovery-path tests: peer fail/recover round-trips, contact forgetting
+and directory replacement under repeated failures (Section 5 machinery)."""
+
+import pytest
+
+from repro.core.config import FlowerConfig, GossipConfig
+from repro.core.content_peer import ContentPeer
+from repro.core.system import FlowerCDN
+from repro.network.topology import Topology, TopologyConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workload.assignment import ResolvedQuery
+
+
+@pytest.fixture
+def config() -> FlowerConfig:
+    return FlowerConfig(
+        num_websites=3,
+        active_websites=2,
+        objects_per_website=25,
+        num_localities=3,
+        max_content_overlay_size=8,
+        locality_bits=2,
+        website_bits=12,
+        gossip=GossipConfig(
+            gossip_period_s=60.0, view_size=6, gossip_length=3, push_threshold=0.2,
+            keepalive_period_s=60.0, dead_age=3,
+        ),
+        simulation_duration_s=3600.0,
+        metrics_window_s=300.0,
+    )
+
+
+@pytest.fixture
+def system(config: FlowerConfig) -> FlowerCDN:
+    topology = Topology(
+        TopologyConfig(
+            num_hosts=300,
+            num_localities=config.num_localities,
+            locality_weights=(1.0, 1.0, 1.0),
+        ),
+        RandomStreams(31),
+    )
+    sim = Simulator(seed=5, end_time=config.simulation_duration_s)
+    cdn = FlowerCDN(config, sim, topology)
+    cdn.bootstrap()
+    return cdn
+
+
+def enroll(system: FlowerCDN, locality: int = 0, offset: int = 0) -> ContentPeer:
+    website = system.catalog.websites[0].name
+    hosts = [
+        h for h in system.topology.hosts_in_locality(locality)
+        if h not in system.reserved_hosts
+    ]
+    host = hosts[offset]
+    system.handle_query(
+        ResolvedQuery(
+            query_id=offset,
+            time=float(offset),
+            website=website,
+            object_id=system.catalog.websites[0].object_id(offset),
+            locality=locality,
+            client_host=host,
+            is_new_client=True,
+        )
+    )
+    return system.content_peer(f"c({website})@{host}")
+
+
+class TestFailRecoverRoundTrip:
+    def test_peer_level_round_trip(self, system: FlowerCDN):
+        peer = enroll(system)
+        assert peer.alive
+        peer.fail()
+        assert not peer.alive
+        peer.recover()
+        assert peer.alive
+
+    def test_system_fail_is_idempotent_until_recovery(self, system: FlowerCDN):
+        peer = enroll(system)
+        assert system.fail_content_peer(peer.peer_id)
+        # already dead: a second failure is a no-op
+        assert not system.fail_content_peer(peer.peer_id)
+        peer.recover()
+        assert system.fail_content_peer(peer.peer_id)
+
+    def test_failed_peer_keeps_identity_across_recovery(self, system: FlowerCDN):
+        peer = enroll(system)
+        objects_before = set(peer.objects)
+        system.fail_content_peer(peer.peer_id)
+        peer.recover()
+        assert set(peer.objects) == objects_before
+        assert system.content_peer(peer.peer_id) is peer
+
+
+class TestForgetContact:
+    def test_clears_directory_binding(self, system: FlowerCDN):
+        peer = enroll(system)
+        directory_id = peer.directory_peer_id
+        assert directory_id is not None
+        peer.forget_contact(directory_id)
+        assert peer.directory_peer_id is None
+
+    def test_forgetting_other_contacts_keeps_directory(self, system: FlowerCDN):
+        peer = enroll(system)
+        directory_id = peer.directory_peer_id
+        peer.forget_contact("c(nobody)@999")
+        assert peer.directory_peer_id == directory_id
+
+
+class TestRepeatedDirectoryReplacement:
+    def test_replacement_survives_repeated_failures(self, system: FlowerCDN):
+        website = system.catalog.websites[0].name
+        enroll(system, offset=0)
+        enroll(system, offset=1)
+        original = system.directory_for(website, 0)
+        generations = [original.peer_id]
+        for round_number in range(1, 3):
+            assert system.fail_directory(website, 0)
+            # the next keepalive detects the failure and repairs (Section 5.2)
+            system.sim.run(until=200.0 * round_number)
+            replacement = system.directory_for(website, 0)
+            assert replacement is not None
+            assert replacement.alive
+            assert replacement.peer_id not in generations
+            # the D-ring identifier is preserved across every generation
+            assert replacement.node_id == original.node_id
+            generations.append(replacement.peer_id)
+        assert system.directory_replacements == 2
+
+    def test_fail_directory_on_dead_directory_returns_false(self, system: FlowerCDN):
+        website = system.catalog.websites[0].name
+        enroll(system)
+        assert system.fail_directory(website, 0)
+        assert not system.fail_directory(website, 0)
