@@ -153,6 +153,17 @@ def build_parser() -> argparse.ArgumentParser:
                           help="ratio-preserving scale factor (default 1.0)")
     run_verb.add_argument("--table", action="store_true",
                           help="print a human-readable table instead of JSON")
+    run_verb.add_argument("--shards", type=int, default=None, metavar="N",
+                          help="run through the space-parallel shard engine "
+                               "with N shard engines (N >= 2; results are "
+                               "digest-identical to the single-process "
+                               "default)")
+    run_verb.add_argument("--shard-jobs", type=int, default=None, metavar="N",
+                          help="worker processes for --shards (default: CPU "
+                               "affinity count; 1 runs shards inline)")
+    run_verb.add_argument("--kernel", action="store_true",
+                          help="run Flower-CDN on the columnar kernel backend "
+                               "(digest-identical to the object backend)")
     run_verb.add_argument("--check-golden", action="store_true",
                           help="run at the pinned golden scale/seed and compare "
                                "against the committed golden file")
@@ -197,6 +208,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="additionally run the paper-scale benchmark "
                            "(paper-default-full-scale end to end with wall/RSS "
                            "accounting; takes minutes)")
+    perf.add_argument("--shards", type=int, default=0, metavar="N",
+                      help="with --paper-scale: additionally run the "
+                           "paper-scale scenario through the space-parallel "
+                           "shard engine with N shards and record the "
+                           "paper_scale_sharded section")
     perf.add_argument("--no-memory", dest="memory", action="store_false",
                       help="skip the tracemalloc memory benchmarks")
     return parser
@@ -729,19 +745,44 @@ def _command_scenarios_run(args: argparse.Namespace, out) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.shards is not None and args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.update_goldens and (args.shards is not None or args.kernel):
+        print(
+            "error: goldens are produced by the single-process object "
+            "backend; --shards/--kernel runs must match them, not define "
+            "them (use --check-golden to verify equivalence)",
+            file=sys.stderr,
+        )
+        return 2
     if args.update_goldens:
         path = golden_module.write_golden(args.name)
         print(f"updated {path}", file=out)
         return 0
     if args.check_golden:
         # Golden digests are pinned to a fixed scale and seed; --scale/--seed
-        # do not apply here.
-        return golden_module.main([args.name], out=out)
+        # do not apply here.  --shards/--kernel pass through: the committed
+        # golden doubles as the equivalence oracle for both backends and for
+        # the space-parallel shard engine.
+        argv = [args.name]
+        if args.kernel:
+            argv.append("--kernel")
+        if args.shards is not None and args.shards != 1:
+            argv.extend(["--shards", str(args.shards)])
+        return golden_module.main(argv, out=out)
 
     if args.scale <= 0:
         print("error: --scale must be positive", file=sys.stderr)
         return 2
-    result = run_scenario(spec, seed=args.seed, scale=args.scale)
+    result = run_scenario(
+        spec,
+        seed=args.seed,
+        scale=args.scale,
+        kernel=args.kernel,
+        shards=args.shards,
+        shard_jobs=args.shard_jobs,
+    )
     if args.table:
         for name, system in result.systems.items():
             print(
@@ -773,6 +814,13 @@ def _command_perf(args: argparse.Namespace, out) -> int:
         print("error: --update-baseline cannot be combined with --check; "
               "check first, then refresh the baseline", file=sys.stderr)
         return 2
+    if args.shards and not args.paper_scale:
+        print("error: --shards requires --paper-scale (the sharded benchmark "
+              "is a paper-scale section)", file=sys.stderr)
+        return 2
+    if args.shards and args.shards < 2:
+        print("error: --shards must be >= 2", file=sys.stderr)
+        return 2
     scenario_names_arg = [name for name in args.scenarios.split(",") if name]
     document = perf_module.run_suite(
         scenarios=scenario_names_arg,
@@ -781,6 +829,7 @@ def _command_perf(args: argparse.Namespace, out) -> int:
         quick=args.quick,
         memory=args.memory,
         paper_scale=args.paper_scale,
+        shards=args.shards,
     )
     if args.update_baseline:
         baseline_path = perf_module.default_baseline_path()
@@ -793,7 +842,8 @@ def _command_perf(args: argparse.Namespace, out) -> int:
             except (OSError, json.JSONDecodeError):
                 previous = {}
             carried = [
-                key for key in ("paper_scale", "paper_scale_kernel")
+                key
+                for key in ("paper_scale", "paper_scale_kernel", "paper_scale_sharded")
                 if key in previous
             ]
             for key in carried:

@@ -1,0 +1,226 @@
+"""Space-parallel shard planning for Flower-CDN scenarios.
+
+Flower-CDN's protocol traffic is *website-local*: gossip, keepalives and
+pushes stay inside one ``(website, locality)`` content overlay, summary
+refreshes travel between a website's own per-locality directories
+(``d(ws, loc)`` to ``d(ws, loc±1)``), and query redirection hops only
+between directories of the queried website.  A website's whole "flower"
+(its D-ring directories across all localities plus all of its content
+overlays) is therefore an atomic unit that never exchanges protocol
+messages with another website's flower.
+
+Sharding partitions the *queryable* websites across ``N`` shard engines.
+Each engine simulates its websites' flowers in full while registering every
+other website's directory placements as ghosts (ring nodes, latency entries
+and reserved hosts without live peers), so ring routing, bootstrap-node
+choice and client assignment are identical to the unsharded deployment.
+Because the partition is website-atomic, the cross-shard message channel is
+*empty by construction* under the supported regime — the conservative
+window barrier never has to deliver a remote event, which is what makes a
+sharded run reproduce the single-process digests exactly, independent of
+the shard count.
+
+The supported regime is validated by :func:`validate_shardable`: no churn
+(churn victims are drawn from globally-ordered streams) and only
+time-driven, RNG-free fault models whose windows are pure functions of the
+clock.
+
+The conservative lookahead is still derived and enforced as the window
+size: the minimum delay any cross-shard interaction *would* experience
+(one gossip/keepalive period plus the inter-locality latency floor).  Every
+shard advances window by window and emits a typed
+:class:`WindowReport`; reports and outcomes are merged in deterministic
+``(timestamp, shard, seq)`` order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+#: fault models whose behaviour is a pure function of the simulation clock
+#: (no stream draws, no global victim selection) — safe to attach per shard
+SHARDABLE_FAULT_MODELS = frozenset({"none", "locality-partition"})
+
+#: window-count cap: pathologically small lookaheads (tiny gossip periods in
+#: scaled-down tests) degrade to barrier overhead without changing results
+MAX_WINDOWS = 4096
+
+
+# -- validation ----------------------------------------------------------------
+
+
+def validate_shardable(spec) -> None:
+    """Raise ``ValueError`` unless ``spec`` fits the supported sharded regime.
+
+    Sharding requires that every source of randomness is website-scoped or
+    replicated identically in every shard.  Global churn draws and
+    per-message loss draws consume globally-ordered streams, so specs using
+    them must run single-process.
+    """
+    if tuple(spec.systems) != ("flower",):
+        raise ValueError(
+            "sharded execution supports flower-only scenarios; "
+            f"{spec.name!r} runs systems {tuple(spec.systems)}"
+        )
+    if spec.churn.is_enabled:
+        raise ValueError(
+            "sharded execution requires a churn-free spec: churn victims are "
+            "drawn from globally-ordered streams and cannot be partitioned "
+            f"deterministically ({spec.name!r} has churn enabled)"
+        )
+    if spec.fault_model.name not in SHARDABLE_FAULT_MODELS:
+        raise ValueError(
+            f"fault model {spec.fault_model.name!r} is not shardable; "
+            f"supported models: {sorted(SHARDABLE_FAULT_MODELS)} "
+            "(time-driven models whose windows are pure functions of the clock)"
+        )
+
+
+# -- shard planning ------------------------------------------------------------
+
+
+def queryable_websites(spec) -> Tuple[str, ...]:
+    """The websites the workload can target, in catalogue order.
+
+    Stationary workloads query the first ``active_websites`` catalogue
+    entries; programs query the union of every phase's (possibly rotated)
+    active window.  Mirrors
+    :meth:`repro.workload.generator.QueryGenerator._phase_window` exactly.
+    """
+    from repro.workload.catalog import Catalog
+
+    catalog = Catalog.synthetic(spec.num_websites, spec.objects_per_website)
+    names = [site.name for site in catalog.websites]
+    count = spec.active_websites
+    spans = spec.compiled_program()
+    if not spans:
+        return tuple(names[:count])
+    used = sorted(
+        {
+            (span.hotspot_rotation + i) % len(names)
+            for span in spans
+            for i in range(count)
+        }
+    )
+    return tuple(names[i] for i in used)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of the queryable websites into shards."""
+
+    num_shards: int
+    #: per-shard website names, each in catalogue order; shards may be empty
+    #: when there are more shards than queryable websites
+    assignments: Tuple[Tuple[str, ...], ...]
+
+    @property
+    def websites(self) -> Tuple[str, ...]:
+        return tuple(name for shard in self.assignments for name in shard)
+
+
+def plan_shards(spec, num_shards: int) -> ShardPlan:
+    """Round-robin the *whole catalogue* over ``num_shards`` shards.
+
+    Every catalogue website is owned by exactly one shard — including the
+    non-queryable ones, whose directories carry no load but must exist
+    somewhere because reconciliation rounds republish every alive
+    directory's summary.  Queryable websites are contiguous catalogue
+    prefixes (or rotated windows), so round-robin in catalogue order also
+    balances the query load.  The assignment is a pure function of
+    ``(spec, num_shards)`` — but results do not depend on it: each
+    website's evolution is identical however the websites are grouped.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    from repro.workload.catalog import Catalog
+
+    catalog = Catalog.synthetic(spec.num_websites, spec.objects_per_website)
+    buckets: List[List[str]] = [[] for _ in range(num_shards)]
+    for index, site in enumerate(catalog.websites):
+        buckets[index % num_shards].append(site.name)
+    return ShardPlan(
+        num_shards=num_shards,
+        assignments=tuple(tuple(bucket) for bucket in buckets),
+    )
+
+
+# -- conservative windows ------------------------------------------------------
+
+
+def conservative_lookahead_s(spec) -> float:
+    """The minimum delay of any would-be cross-shard interaction.
+
+    The earliest a shard could causally affect another is one background
+    period (gossip or keepalive, whichever ticks faster) plus the
+    inter-locality latency floor — no protocol message propagates faster.
+    Window barriers at this stride are therefore conservative in the
+    classical parallel-discrete-event sense.
+    """
+    period_s = min(spec.gossip_period_s, spec.effective_keepalive_period_s)
+    min_latency_ms = spec.to_setup().topology.min_latency_ms
+    return period_s + min_latency_ms / 1000.0
+
+
+def window_boundaries(duration_s: float, lookahead_s: float) -> Tuple[float, ...]:
+    """Ascending barrier times ``k * lookahead`` capped at the duration.
+
+    The final boundary is exactly ``duration_s`` so the last window closes
+    on the run horizon; an event scheduled exactly on a boundary fires in
+    the window that boundary closes (the simulator's ``run(until=W)`` is
+    inclusive) and is consumed exactly once.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    if lookahead_s <= 0 or lookahead_s >= duration_s:
+        return (duration_s,)
+    if duration_s / lookahead_s > MAX_WINDOWS:
+        lookahead_s = duration_s / MAX_WINDOWS
+    boundaries: List[float] = []
+    k = 1
+    while True:
+        boundary = k * lookahead_s
+        if boundary >= duration_s:
+            break
+        boundaries.append(boundary)
+        k += 1
+    boundaries.append(duration_s)
+    return tuple(boundaries)
+
+
+# -- typed inter-shard messages ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardMessage:
+    """Base class of everything exchanged at a window barrier.
+
+    Messages are applied in ``sort_key`` order — ``(timestamp, shard,
+    seq)`` — which makes every merge independent of arrival order.
+    """
+
+    timestamp: float
+    shard: int
+    seq: int
+
+    @property
+    def sort_key(self) -> Tuple[float, int, int]:
+        return (self.timestamp, self.shard, self.seq)
+
+
+@dataclass(frozen=True)
+class WindowReport(ShardMessage):
+    """One shard's account of one closed conservative window."""
+
+    window_index: int = 0
+    window_end_s: float = 0.0
+    events_fired: int = 0
+    queries_handled: int = 0
+
+
+def merge_messages(batches: Iterable[Sequence[ShardMessage]]) -> List[ShardMessage]:
+    """Flatten per-shard message batches into deterministic apply order."""
+    merged = [message for batch in batches for message in batch]
+    merged.sort(key=lambda message: message.sort_key)
+    return merged

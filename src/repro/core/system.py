@@ -24,6 +24,7 @@
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -87,8 +88,18 @@ class FlowerCDN:
         catalog: Optional[Catalog] = None,
         compact_metrics: bool = False,
         kernel: bool = False,
+        owned_websites: Optional[frozenset] = None,
     ) -> None:
         self.config = config
+        #: space-sharding support: when set, only these websites get real
+        #: directory/content peers and background processes; every other
+        #: website's directory placements are still registered as "ghosts"
+        #: (D-ring nodes, latency entries, reserved hosts) so ring routing,
+        #: bootstrap-node choice and client assignment match an unsharded
+        #: deployment exactly.  ``None`` (the default) owns everything.
+        self._owned_websites = (
+            frozenset(owned_websites) if owned_websites is not None else None
+        )
         #: backend toggle: the columnar kernel stores peer views, summaries
         #: and directory indexes as packed columns (see repro.core.columns)
         #: while sharing this class's orchestration; runs are digest-identical
@@ -124,7 +135,11 @@ class FlowerCDN:
         self._summary_refresh_bytes = config.message_sizes.summary_refresh_bytes(
             config.summary_bits
         )
-        self._gossip_subset_rng = sim.streams.stream("gossip:subset")
+        # Gossip subset draws are scoped per content overlay and bootstrap
+        # draws per website: identically-named streams yield identical
+        # sequences in any process, which is what makes a space-sharded run
+        # reproduce the single-process draw sequences exactly.
+        self._gossip_subset_rngs: Dict[Tuple[str, int], random.Random] = {}
         #: optional transit filter for gossip exchanges: a callable
         #: ``(initiator, partner) -> bool`` consulted once per attempted
         #: exchange; returning False drops the message in transit (no view
@@ -376,14 +391,32 @@ class FlowerCDN:
         # Batch the initial joins: stabilise the D-ring once at the end instead
         # of after every single directory peer (equivalent result, much cheaper).
         self.dring.ring.auto_stabilize = False
+        owned = self._owned_websites
         try:
             for website in self.catalog:
                 for locality in range(self.config.num_localities):
                     host_id = self._next_directory_host(locality, host_cursor)
-                    self._create_directory_peer(website.name, locality, host_id)
+                    if owned is None or website.name in owned:
+                        self._create_directory_peer(website.name, locality, host_id)
+                    else:
+                        self._register_ghost_directory(website.name, locality, host_id)
         finally:
             self.dring.ring.auto_stabilize = True
             self.dring.ring.stabilize()
+
+    def _register_ghost_directory(self, website: str, locality: int, host_id: int) -> None:
+        """Register a non-owned website's directory placement without a peer.
+
+        The ghost occupies exactly the ring position, latency entry and
+        reserved host the real peer would, so routing and host allocation in
+        a sharded engine are indistinguishable from the unsharded deployment;
+        it just never ticks, serves or gossips (its website's queries are
+        handled by another shard).
+        """
+        peer_id = f"d({website},{locality})#0"
+        self.latency.register_peer(peer_id, host_id)
+        self.dring.register_directory(website, locality, peer_id)
+        self._reserved_hosts.add(host_id)
 
     def _next_directory_host(self, locality: int, cursor: Dict[int, int]) -> int:
         hosts = self.topology.hosts_in_locality(locality)
@@ -608,7 +641,7 @@ class FlowerCDN:
     def _handle_new_client_query(self, query: ResolvedQuery) -> QueryRecord:
         object_id = query.object_id
         client_host = query.client_host
-        rng = self.sim.streams.stream("dring:bootstrap")
+        rng = self.sim.streams.stream(f"dring:bootstrap:{query.website}")
 
         # 1. The query enters the D-ring at a bootstrap node and is routed to
         #    the directory peer in charge of (website, locality).
@@ -876,6 +909,22 @@ class FlowerCDN:
 
     # ------------------------------------------------------------------ maintenance
 
+    def _gossip_subset_rng(self, peer: ContentPeer) -> random.Random:
+        """The overlay-scoped gossip subset stream of ``peer``'s overlay.
+
+        Gossip never crosses a content overlay, so draw order on an
+        overlay-scoped stream is the overlay's own tick order — independent
+        of how many other overlays share the simulator process.
+        """
+        key = (peer.website, peer.locality)
+        rng = self._gossip_subset_rngs.get(key)
+        if rng is None:
+            rng = self.sim.streams.stream(
+                f"gossip:subset:{peer.website}:{peer.locality}"
+            )
+            self._gossip_subset_rngs[key] = rng
+        return rng
+
     def _gossip_tick(self, peer: ContentPeer) -> None:
         """Algorithm 4, active behaviour, plus the per-period ageing and push check."""
         if not peer.alive:
@@ -900,7 +949,7 @@ class FlowerCDN:
                 # no bandwidth is accounted; ages were already incremented.
                 pass
             else:
-                rng = self._gossip_subset_rng
+                rng = self._gossip_subset_rng(peer)
                 message = peer.build_gossip_message(rng=rng)
                 reply = partner.handle_gossip(message, rng=rng)
                 peer.apply_gossip(reply)

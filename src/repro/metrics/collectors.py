@@ -12,6 +12,7 @@ Two collectors exist:
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass
 from enum import Enum
@@ -174,6 +175,31 @@ class MetricsCollector:
         else:
             records.clear()
             self._aggregated_upto = 0
+
+    def merge_compact_from(self, other: "MetricsCollector") -> None:
+        """Fold another collector's *aggregates* into this one (compact merge).
+
+        Used by the sharded engine when records are not retained: series
+        buckets, histogram bins, outcome counts and the folded scalars all
+        add exactly (integer counts, integer-valued or identical floats).
+        Retained-mode merging instead replays the concatenated records into
+        a fresh collector, which reproduces single-process output bitwise.
+        """
+        self._sync()
+        other._sync()
+        self._hit_series.merge_from(other._hit_series)
+        self._latency_series.merge_from(other._latency_series)
+        self._distance_series.merge_from(other._distance_series)
+        self._latency_histogram.merge_from(other._latency_histogram)
+        self._distance_histogram.merge_from(other._distance_histogram)
+        for outcome, count in other._outcome_counts.items():
+            self._outcome_counts[outcome] += count
+        self._folded_count += other._folded_count
+        self._folded_hops += other._folded_hops
+        self._folded_failures += other._folded_failures
+        if self._retain and other._retain:
+            self._records.extend(other._records)
+            self._aggregated_upto = len(self._records)
 
     # -- aggregates ---------------------------------------------------------------
 
@@ -350,6 +376,30 @@ class BandwidthAccountant:
             series_add(time, 2 * num_bytes)
         pending.clear()
 
+    def merge_from(self, other: "BandwidthAccountant") -> None:
+        """Fold another accountant's totals into this one.
+
+        Byte totals are integer-valued floats (exact under addition in any
+        order), first-seen times merge by minimum, and category/series
+        aggregates add exactly — so merging per-shard accountants agrees
+        bitwise with single-process accounting of the union of messages.
+        """
+        self._sync()
+        other._sync()
+        bytes_per_peer = self._bytes_per_peer
+        first_seen = self._peer_first_seen
+        for peer, num_bytes in other._bytes_per_peer.items():
+            bytes_per_peer[peer] += num_bytes
+        for peer, time in other._peer_first_seen.items():
+            known = first_seen.get(peer)
+            if known is None or time < known:
+                first_seen[peer] = time
+        for category, num_bytes in other._bytes_per_category.items():
+            self._bytes_per_category[category] += num_bytes
+        for category, count in other._messages_per_category.items():
+            self._messages_per_category[category] += count
+        self._series.merge_from(other._series)
+
     # -- aggregates --------------------------------------------------------------
 
     @property
@@ -377,10 +427,12 @@ class BandwidthAccountant:
         self._sync()
         if not self._bytes_per_peer:
             return 0.0
+        # fsum: correctly rounded independent of peer iteration order, so a
+        # sharded run's merged accountant agrees bitwise with single-process.
         per_peer_bps = [
             (total_bytes * 8.0) / duration_s for total_bytes in self._bytes_per_peer.values()
         ]
-        return sum(per_peer_bps) / len(per_peer_bps)
+        return math.fsum(per_peer_bps) / len(per_peer_bps)
 
     def peak_bps_per_peer(self, duration_s: float) -> float:
         if duration_s <= 0:

@@ -47,6 +47,29 @@ class TimeSeries:
     def overall_mean(self) -> float:
         return self._total_sum / self._total_count if self._total_count else 0.0
 
+    def merge_from(self, other: "TimeSeries") -> None:
+        """Fold another series' windows into this one (bucket-wise sums).
+
+        Both series must share the window width.  Used by the sharded
+        engine to combine per-shard compact series; sums and counts add
+        exactly because counts are integers and the values folded into a
+        given bucket are identical to a single-process fold of the union.
+        """
+        if other._window_s != self._window_s:
+            raise ValueError(
+                f"window mismatch: {other._window_s} != {self._window_s}"
+            )
+        buckets = self._buckets
+        for index, (value_sum, count) in other._buckets.items():
+            bucket = buckets.get(index)
+            if bucket is None:
+                buckets[index] = [value_sum, count]
+            else:
+                bucket[0] += value_sum
+                bucket[1] += count
+        self._total_sum += other._total_sum
+        self._total_count += other._total_count
+
     def add(self, time_s: float, value: float) -> None:
         if time_s < 0:
             raise ValueError("sample time must be non-negative")

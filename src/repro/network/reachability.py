@@ -113,6 +113,22 @@ class DeliveryStats:
             "reconciliations": self.reconciliations,
         }
 
+    def merge_from(self, other: "DeliveryStats") -> None:
+        """Fold another gate's counters into this one (sharded merge).
+
+        All counters sum across shards except ``reconciliations``: every
+        shard performs the same post-heal reconciliation rounds on its own
+        clock, so the union-run equivalent is the maximum, not the sum.
+        """
+        for kind, count in other.delivered.items():
+            self.delivered[kind] = self.delivered.get(kind, 0) + count
+        for kind, count in other.blocked.items():
+            self.blocked[kind] = self.blocked.get(kind, 0) + count
+        self.retries_exhausted += other.retries_exhausted
+        self.server_fallbacks += other.server_fallbacks
+        self.suspicion_skips += other.suspicion_skips
+        self.reconciliations = max(self.reconciliations, other.reconciliations)
+
 
 class ReachabilityModel:
     """Base delivery model: everything reachable (attachable as a no-op).

@@ -14,6 +14,7 @@ from repro.perf.suite import (  # noqa: F401
     PAPER_SCALE_SCENARIO,
     REGRESSION_THRESHOLD,
     bench_paper_scale,
+    bench_paper_scale_sharded,
     compare_to_baseline,
     default_baseline_path,
     run_memory_suite,

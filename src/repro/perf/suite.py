@@ -360,6 +360,76 @@ def bench_paper_scale(
     }
 
 
+def bench_paper_scale_sharded(
+    name: str = PAPER_SCALE_SCENARIO, shards: int = 8, isolate: bool = False
+) -> Dict[str, float]:
+    """One end-to-end paper-scale run through the space-parallel shard engine.
+
+    Reports two throughput numbers side by side:
+
+    * ``events_per_s_wall`` — total events over the honest wall clock of the
+      whole sharded run (fan-out, per-shard setup, windowed dispatch, merge)
+      on *this* machine.  On a single-core container the shards time-slice
+      one CPU, so this is roughly the single-process rate minus overhead.
+    * ``events_per_s_critical_path`` — total events over the slowest shard's
+      dispatch time (:attr:`ShardRunStats.critical_path_s`).  This is the
+      lockstep-parallel bound: the rate an ``N``-core machine approaches
+      when every shard engine runs on its own core.
+
+    ``cpu_affinity`` records how many CPUs the process was actually allowed
+    to use so readers can tell which of the two numbers the hardware could
+    realise.  A single repetition, same as :func:`bench_paper_scale`.
+    """
+    if isolate:
+        src_root = str(Path(__file__).resolve().parents[2])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        code = (
+            "import json\n"
+            "from repro.perf.suite import bench_paper_scale_sharded\n"
+            f"print(json.dumps(bench_paper_scale_sharded({name!r}, shards={shards!r})))\n"
+        )
+        try:
+            child = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            return json.loads(child.stdout.strip().splitlines()[-1])
+        except (OSError, subprocess.CalledProcessError, ValueError, IndexError):
+            pass  # fall through to the inline run
+    from repro.scenarios.parallel import default_jobs
+
+    session = Session.from_name(name, shards=shards)
+    total_start = time.perf_counter()
+    run = session.run_system("flower")
+    total_elapsed = time.perf_counter() - total_start
+    stats = session.last_shard_stats
+    critical_path_s = stats.critical_path_s
+    return {
+        "scenario": name,
+        "shards": shards,
+        "cpu_affinity": default_jobs(),
+        "events_per_s_wall": run.events_fired / total_elapsed,
+        "events_per_s_critical_path": run.events_fired / critical_path_s,
+        "wall_s": total_elapsed,
+        "pool_wall_s": stats.wall_s,
+        "critical_path_s": critical_path_s,
+        "setup_s_max": max(stats.setup_s_per_shard),
+        "dispatch_s_total": sum(stats.dispatch_s_per_shard),
+        "lookahead_s": stats.lookahead_s,
+        "num_windows": stats.num_windows,
+        "events_fired": run.events_fired,
+        "num_queries": run.num_queries,
+        "hit_ratio": run.hit_ratio,
+        "peak_rss_mb": _peak_rss_mb(),
+    }
+
+
 # -- memory benchmarks --------------------------------------------------------
 
 
@@ -470,6 +540,7 @@ def run_suite(
     quick: bool = False,
     memory: bool = True,
     paper_scale: bool = False,
+    shards: int = 0,
 ) -> Dict[str, object]:
     """Run the whole suite and return the ``BENCH_core.json`` document.
 
@@ -477,6 +548,9 @@ def run_suite(
     CI smoke job) — the numbers stay comparable in *shape*, not magnitude.
     ``memory`` adds the tracemalloc section; ``paper_scale`` additionally runs
     the full Table 1 scenario end to end (minutes — the nightly job's tier).
+    ``shards >= 2`` (with ``paper_scale``) additionally runs the same scenario
+    through the space-parallel shard engine and records the
+    ``paper_scale_sharded`` section.
     """
     if quick:
         micro = {
@@ -527,6 +601,10 @@ def run_suite(
         # numbers is the object-path vs columnar-kernel comparison.
         document["paper_scale"] = bench_paper_scale(isolate=True)
         document["paper_scale_kernel"] = bench_paper_scale(isolate=True, kernel=True)
+        if shards >= 2:
+            document["paper_scale_sharded"] = bench_paper_scale_sharded(
+                shards=shards, isolate=True
+            )
     return document
 
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import reprlib
+import traceback
 from typing import Dict, List, Optional, Sequence
 
 from repro.scenarios import golden as golden_module
@@ -24,11 +26,58 @@ from repro.scenarios.runner import run_scenario
 
 
 def default_jobs() -> int:
-    """Worker count when ``--jobs`` is not given: the machine's CPU count."""
-    return max(1, os.cpu_count() or 1)
+    """Worker count when ``--jobs`` is not given.
+
+    Uses the process's CPU *affinity* where the platform exposes it —
+    in containers and CI runners the cgroup/affinity mask is routinely
+    smaller than the host's raw CPU count, and sizing the pool from
+    ``os.cpu_count()`` oversubscribes it.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)
 
 
-def map_tasks(fn, tasks: Sequence, jobs: Optional[int] = None) -> List:
+class TaskError(RuntimeError):
+    """A ``map_tasks`` worker raised; identifies which task failed."""
+
+    def __init__(self, index: int, task_repr: str, cause_text: str):
+        super().__init__(
+            f"task #{index} ({task_repr}) failed in worker: {cause_text}"
+        )
+        self.index = index
+        self.task_repr = task_repr
+        self.cause_text = cause_text
+
+
+class _TaskCall:
+    """Module-level picklable wrapper running ``fn`` with failure capture.
+
+    Pool workers lose the association between an exception and the task
+    that raised it; wrapping every call lets the parent re-raise with the
+    failing task identified (and the worker traceback preserved as text).
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, indexed):
+        index, task = indexed
+        try:
+            return True, self.fn(task)
+        except Exception:
+            return False, (index, reprlib.repr(task), traceback.format_exc())
+
+
+def map_tasks(
+    fn,
+    tasks: Sequence,
+    jobs: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> List:
     """Map a picklable ``fn`` over ``tasks`` across ``jobs`` processes.
 
     The shared fan-out primitive of the scenario *and* sweep runners:
@@ -38,15 +87,31 @@ def map_tasks(fn, tasks: Sequence, jobs: Optional[int] = None) -> List:
     must be a module-level callable and ``tasks`` picklable values —
     workers re-import :mod:`repro`, which is what makes parallel output
     byte-identical to sequential output.
+
+    A worker exception surfaces as :class:`TaskError` naming the failing
+    task's index and repr, with the worker traceback embedded.  ``chunksize``
+    batches task dispatch (``pool.map`` semantics); large grids amortise
+    IPC overhead with ``chunksize > 1`` without affecting result order.
     """
     jobs = default_jobs() if jobs is None else jobs
     if jobs <= 0:
         raise ValueError(f"jobs must be positive, got {jobs}")
+    if chunksize is not None and chunksize <= 0:
+        raise ValueError(f"chunksize must be positive, got {chunksize}")
     tasks = list(tasks)
+    call = _TaskCall(fn)
     if jobs == 1 or len(tasks) <= 1:
-        return [fn(task) for task in tasks]
-    with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
-        return pool.map(fn, tasks)
+        outcomes = [call(indexed) for indexed in enumerate(tasks)]
+    else:
+        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+            outcomes = pool.map(call, list(enumerate(tasks)), chunksize=chunksize)
+    results = []
+    for ok, payload in outcomes:
+        if not ok:
+            index, task_repr, cause_text = payload
+            raise TaskError(index, task_repr, cause_text)
+        results.append(payload)
+    return results
 
 
 # -- worker entry points (module-level for picklability) ----------------------

@@ -207,10 +207,14 @@ def run_scenario(
     seed: Optional[int] = None,
     scale: Optional[float] = None,
     kernel: bool = False,
+    shards: Optional[int] = None,
+    shard_jobs: Optional[int] = None,
 ) -> ScenarioResult:
     """Convenience wrapper: optionally rescale, then run through a Session."""
     from repro.session import Session
 
     if scale is not None and scale != 1.0:
         spec = spec.scaled(scale)
-    return Session(spec, seed=seed, kernel=kernel).run()
+    return Session(
+        spec, seed=seed, kernel=kernel, shards=shards, shard_jobs=shard_jobs
+    ).run()

@@ -160,6 +160,12 @@ class ScenarioSpec:
     #: fold metrics into compact array reservoirs instead of retaining
     #: per-query records (the paper-scale memory mode)
     compact_metrics: bool = False
+    #: space-parallel shard count: 1 (the default) runs the historical
+    #: single-process path; N >= 2 partitions the queryable websites over N
+    #: shard engines advanced in conservative windows (flower-only,
+    #: churn-free specs with time-driven fault models — see
+    #: repro.core.sharding and docs/performance.md)
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -193,6 +199,14 @@ class ScenarioSpec:
             raise ValueError("keepalive_period_s must be positive or None")
         if self.metrics_window_s is not None and self.metrics_window_s <= 0:
             raise ValueError("metrics_window_s must be positive or None")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shards > 1:
+            # Fail at construction time, not mid-run: sharding supports only
+            # churn-free flower scenarios with time-driven fault models.
+            from repro.core.sharding import validate_shardable
+
+            validate_shardable(self)
         if "squirrel" in self.systems:
             # The Squirrel baseline has no churn/fault-injection support;
             # allowing dynamicity here would silently present an unfair

@@ -52,6 +52,8 @@ class Session:
         spec: ScenarioSpec,
         seed: Optional[int] = None,
         kernel: bool = False,
+        shards: Optional[int] = None,
+        shard_jobs: Optional[int] = None,
     ) -> None:
         self.spec = spec
         self.seed = spec.seed if seed is None else seed
@@ -60,6 +62,22 @@ class Session:
         #: two backends are digest-identical, so results and goldens carry no
         #: trace of which one produced them.
         self.kernel = kernel
+        #: space-parallel shard count (overrides the spec's ``shards`` field
+        #: when given).  1 runs the historical single-process path; N >= 2
+        #: routes flower runs through repro.sim.sharded — digest-identical to
+        #: single-process, so results carry no trace of the shard count.
+        self.shards = spec.shards if shards is None else shards
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shards > 1:
+            from repro.core.sharding import validate_shardable
+
+            validate_shardable(spec)
+        #: worker-pool size for sharded runs (None: the CPU-affinity default;
+        #: 1 runs every shard inline — identical results either way)
+        self.shard_jobs = shard_jobs
+        #: per-shard statistics of the most recent sharded flower run
+        self.last_shard_stats = None
         setup = spec.to_setup(seed=self.seed)
         if kernel:
             setup = replace(setup, kernel=True)
@@ -73,10 +91,15 @@ class Session:
 
     @classmethod
     def from_spec(
-        cls, spec: ScenarioSpec, seed: Optional[int] = None, kernel: bool = False
+        cls,
+        spec: ScenarioSpec,
+        seed: Optional[int] = None,
+        kernel: bool = False,
+        shards: Optional[int] = None,
+        shard_jobs: Optional[int] = None,
     ) -> "Session":
         """A session for an explicit spec (the canonical constructor)."""
-        return cls(spec, seed=seed, kernel=kernel)
+        return cls(spec, seed=seed, kernel=kernel, shards=shards, shard_jobs=shard_jobs)
 
     @classmethod
     def from_name(
@@ -85,6 +108,8 @@ class Session:
         seed: Optional[int] = None,
         scale: Optional[float] = None,
         kernel: bool = False,
+        shards: Optional[int] = None,
+        shard_jobs: Optional[int] = None,
     ) -> "Session":
         """A session for a registered library scenario, optionally rescaled."""
         from repro.scenarios.library import get_scenario
@@ -92,7 +117,7 @@ class Session:
         spec = get_scenario(name)
         if scale is not None and scale != 1.0:
             spec = spec.scaled(scale)
-        return cls(spec, seed=seed, kernel=kernel)
+        return cls(spec, seed=seed, kernel=kernel, shards=shards, shard_jobs=shard_jobs)
 
     # -- the underlying layers ----------------------------------------------
 
@@ -149,6 +174,18 @@ class Session:
     def run_system(self, system: str) -> RunResult:
         """Run one of the spec's systems over the shared trace."""
         if system == "flower":
+            if self.shards > 1:
+                from repro.sim.sharded import run_sharded_flower
+
+                result, stats = run_sharded_flower(
+                    self.spec,
+                    seed=self.seed,
+                    shards=self.shards,
+                    kernel=self.kernel,
+                    jobs=self.shard_jobs,
+                )
+                self.last_shard_stats = stats
+                return result
             return self._experiment.run_flower(attachments=(self.attach_models,))
         if system == "squirrel":
             return self._experiment.run_squirrel()

@@ -153,6 +153,15 @@ def _execute_cell_task(task: Tuple[ScenarioSpec, int]) -> Tuple[Dict[str, object
     return _cell_payload(Session(spec, seed=seed).run())
 
 
+def _grid_chunksize(num_tasks: int, jobs: int) -> int:
+    """Dispatch batch size for a grid: ~4 batches per worker, capped at 8.
+
+    Large grids (hundreds of cells) amortise pickling/IPC per batch;
+    small grids keep chunksize 1 so every worker stays busy.
+    """
+    return max(1, min(8, num_tasks // (4 * max(1, jobs))))
+
+
 # -- public API ---------------------------------------------------------------
 
 
@@ -192,7 +201,12 @@ def run_sweep(
     else:
         outcomes = [
             (systems, sha, None)
-            for systems, sha in map_tasks(_execute_cell_task, tasks, jobs=jobs)
+            for systems, sha in map_tasks(
+                _execute_cell_task,
+                tasks,
+                jobs=jobs,
+                chunksize=_grid_chunksize(len(tasks), jobs),
+            )
         ]
     cells = tuple(
         SweepCellResult(

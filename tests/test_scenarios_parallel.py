@@ -42,6 +42,56 @@ class TestRunScenarios:
     def test_default_jobs_positive(self):
         assert parallel.default_jobs() >= 1
 
+    def test_default_jobs_respects_cpu_affinity(self):
+        import os
+
+        if not hasattr(os, "sched_getaffinity"):
+            pytest.skip("platform has no sched_getaffinity")
+        assert parallel.default_jobs() == max(1, len(os.sched_getaffinity(0)))
+
+
+def _double(x):
+    return 2 * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("boom on three")
+    return x
+
+
+class TestMapTasks:
+    def test_sequential_and_parallel_agree(self):
+        tasks = list(range(8))
+        assert parallel.map_tasks(_double, tasks, jobs=1) == [
+            2 * x for x in tasks
+        ]
+        assert parallel.map_tasks(_double, tasks, jobs=2) == [
+            2 * x for x in tasks
+        ]
+
+    def test_chunksize_preserves_order(self):
+        tasks = list(range(16))
+        chunked = parallel.map_tasks(_double, tasks, jobs=2, chunksize=4)
+        assert chunked == [2 * x for x in tasks]
+
+    def test_invalid_chunksize_rejected(self):
+        with pytest.raises(ValueError):
+            parallel.map_tasks(_double, [1, 2], jobs=2, chunksize=0)
+
+    def test_worker_exception_identifies_task_sequential(self):
+        with pytest.raises(parallel.TaskError) as excinfo:
+            parallel.map_tasks(_fail_on_three, [1, 2, 3, 4], jobs=1)
+        assert excinfo.value.index == 2
+        assert "3" in excinfo.value.task_repr
+        assert "boom on three" in str(excinfo.value)
+
+    def test_worker_exception_identifies_task_parallel(self):
+        with pytest.raises(parallel.TaskError) as excinfo:
+            parallel.map_tasks(_fail_on_three, [0, 1, 2, 3], jobs=2)
+        assert excinfo.value.index == 3
+        assert "ValueError" in excinfo.value.cause_text
+
 
 class TestCheckGoldens:
     def test_all_goldens_pass_in_parallel(self):
