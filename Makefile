@@ -10,7 +10,8 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
         check-goldens-paper goldens-sweeps check-goldens-sweeps \
         goldens-sweeps-paper sweep-smoke sweeps \
         bench-smoke bench scenarios api-surface api-surface-update \
-        perf perf-check perf-baseline perf-paper
+        perf perf-check perf-baseline perf-paper \
+        analyze analyze-changed lint typecheck
 
 ## tier-1 test suite (unit + property + scenario + golden tests + benchmarks)
 test:
@@ -100,3 +101,28 @@ check-goldens-paper:
 ## regenerate the nightly scale-1.0 sweep golden (Table 2a grid; minutes)
 goldens-sweeps-paper:
 	$(PYTHON) -m repro.sweeps.golden --update --scale 1.0 table2a-gossip-length
+
+## determinism/invariant static analysis (rules DET001..DET006, in-tree, no deps)
+analyze:
+	$(PYTHON) -m repro.cli analyze src
+
+## analyze only files changed vs HEAD (the fast pre-commit loop)
+analyze-changed:
+	$(PYTHON) -m repro.cli analyze --changed src tests
+
+## ruff style/hygiene lint; skipped with a notice when ruff is not installed
+lint:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping (CI runs it — see .github/workflows/ci.yml)"; \
+	fi
+
+## mypy typing gate (strict-ish for core/sim/datastructures/scenarios, mypy.ini);
+## skipped with a notice when mypy is not installed
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy --config-file mypy.ini; \
+	else \
+		echo "mypy not installed; skipping (CI runs it — see .github/workflows/ci.yml)"; \
+	fi

@@ -1,0 +1,49 @@
+"""Static determinism/invariant analysis for the reproduction.
+
+An AST-based lint engine that enforces the invariants the golden
+regression suite otherwise only catches after a full re-run: named RNG
+streams, no wall-clock reads, ordered iteration on draw/merge paths,
+``__slots__`` on hot-path value classes and no mutable defaults.  See
+``docs/determinism.md`` for the rule catalogue and suppression syntax.
+
+Entry points: the ``repro analyze`` CLI verb, ``python -m repro.analysis``
+and the programmatic API below.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.builtin import BUILTIN_RULES
+from repro.analysis.engine import (
+    AnalysisReport,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+)
+from repro.analysis.findings import Finding, Suppression, collect_suppressions
+from repro.analysis.rules import (
+    ModuleContext,
+    Rule,
+    get_rule,
+    iter_rules,
+    register_rule,
+    rule_ids,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "BUILTIN_RULES",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Suppression",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "collect_suppressions",
+    "get_rule",
+    "iter_python_files",
+    "iter_rules",
+    "register_rule",
+    "rule_ids",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — standalone entry to the analyze CLI."""
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

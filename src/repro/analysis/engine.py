@@ -1,0 +1,192 @@
+"""File discovery, per-module analysis and report aggregation.
+
+The engine parses each Python file once, runs every registered rule over
+the AST, applies ``# repro: allow(RULE-ID)`` suppressions and folds the
+results into an :class:`AnalysisReport` (text- and JSON-renderable, exit
+code 1 when unsuppressed findings remain).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis import builtin  # noqa: F401  (registers the DET rules)
+from repro.analysis.findings import Finding, collect_suppressions
+from repro.analysis.rules import ModuleContext, Rule, iter_rules, rule_ids
+
+#: directory names never descended into during discovery.  The analysis
+#: test fixtures are deliberate rule violations, so a tree-wide run must
+#: not pick them up (the meta-tests analyze them explicitly by file path).
+EXCLUDED_DIR_NAMES = frozenset(
+    {
+        ".git",
+        "__pycache__",
+        ".mypy_cache",
+        ".ruff_cache",
+        ".pytest_cache",
+        "analysis_fixtures",
+    }
+)
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list.
+
+    Directories are walked recursively, skipping :data:`EXCLUDED_DIR_NAMES`;
+    explicitly named files are always included (that is how the fixture
+    tests target deliberate violations).
+    """
+    seen = set()
+    results: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not EXCLUDED_DIR_NAMES.intersection(candidate.parts)
+            )
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                results.append(candidate)
+    return results
+
+
+@dataclass
+class AnalysisReport:
+    """Aggregated result of one analysis run."""
+
+    files: Tuple[str, ...] = ()
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def extend(self, other: "AnalysisReport") -> None:
+        self.files = self.files + other.files
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+
+    def sort(self) -> None:
+        self.findings.sort()
+        self.suppressed.sort()
+
+    def to_dict(self) -> dict:
+        return {
+            "files_analyzed": len(self.files),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "suppressed": [finding.to_dict() for finding in self.suppressed],
+            "ok": self.ok,
+        }
+
+    def format_text(self) -> str:
+        lines = [finding.format() for finding in self.findings]
+        lines.append(
+            f"{len(self.files)} file(s) analyzed: "
+            f"{len(self.findings)} finding(s), "
+            f"{len(self.suppressed)} suppressed"
+        )
+        return "\n".join(lines)
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> AnalysisReport:
+    """Analyze one module's source under a (possibly virtual) ``path``.
+
+    The path determines package scoping (e.g. DET003 only fires under
+    ``repro/core|sim|workload|overlay``), so fixtures can opt into a scope
+    by being analyzed under a virtual ``src/repro/<pkg>/...`` path.
+    """
+    check_unused = rules is None
+    active_rules: Sequence[Rule] = tuple(rules) if rules is not None else tuple(
+        iter_rules()
+    )
+    report = AnalysisReport(files=(path,))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        report.findings.append(
+            Finding(
+                path=path,
+                line=error.lineno or 1,
+                column=(error.offset or 0) + 1,
+                rule="ANA000",
+                message=f"syntax error: {error.msg}",
+            )
+        )
+        return report
+    suppressions = collect_suppressions(source, known_rules=rule_ids())
+    for line, column, rule_id, message in suppressions.errors:
+        report.findings.append(
+            Finding(path=path, line=line, column=column + 1, rule=rule_id,
+                    message=message)
+        )
+    context = ModuleContext(
+        path=path, tree=tree, source_lines=tuple(source.splitlines())
+    )
+    for rule in active_rules:
+        for finding in rule.findings(context):
+            if suppressions.is_suppressed(finding.rule, finding.line):
+                report.suppressed.append(finding)
+            else:
+                report.findings.append(finding)
+    # An unused suppression is only decidable when the full rule set ran
+    # (under a --rules filter the suppressed rule may simply be inactive).
+    for unused in suppressions.unused() if check_unused else ():
+        report.findings.append(
+            Finding(
+                path=path,
+                line=unused.line,
+                column=1,
+                rule="ANA102",
+                message=(
+                    "suppression for "
+                    + ", ".join(unused.rules)
+                    + " matches no finding on its line; remove it"
+                ),
+            )
+        )
+    report.sort()
+    return report
+
+
+def analyze_file(
+    path: Path,
+    rules: Optional[Sequence[Rule]] = None,
+    display_root: Optional[Path] = None,
+) -> AnalysisReport:
+    """Analyze one file; findings use paths relative to ``display_root``."""
+    display = path
+    if display_root is not None:
+        try:
+            display = path.resolve().relative_to(display_root.resolve())
+        except ValueError:
+            display = path
+    source = path.read_text(encoding="utf-8")
+    return analyze_source(source, path=display.as_posix(), rules=rules)
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    display_root: Optional[Path] = None,
+) -> AnalysisReport:
+    """Analyze every Python file under ``paths`` into one sorted report."""
+    report = AnalysisReport()
+    for file_path in iter_python_files(list(paths)):
+        report.extend(analyze_file(file_path, rules=rules,
+                                   display_root=display_root))
+    report.sort()
+    return report

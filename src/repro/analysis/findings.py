@@ -1,0 +1,168 @@
+"""Findings and suppression comments for the static-analysis engine.
+
+A :class:`Finding` anchors one rule violation to a file, line and column.
+Suppressions are source comments of the form::
+
+    do_something()  # repro: allow(DET002)
+    # repro: allow(DET003, DET005)
+    iterate_the_set()
+
+written either on the offending line itself or as a standalone comment on
+the line directly above it.  Every suppression must name at least one rule
+id — a bare ``# repro: allow`` (or an unknown id) is itself reported as a
+finding so silencing the analyzer always leaves an auditable trail.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: rule ids look like ``DET001`` / ``ANA100``: three upper-case letters, three digits.
+RULE_ID_PATTERN = re.compile(r"^[A-Z]{3}\d{3}$")
+
+#: a well-formed suppression comment names one or more rule ids in parens.
+_ALLOW_PATTERN = re.compile(r"#\s*repro:\s*allow\s*(?:\(([^)]*)\))?")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation anchored to a source location."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: allow(...)`` comment and the lines it covers."""
+
+    line: int
+    rules: Tuple[str, ...]
+    covered_lines: Tuple[int, ...]
+    used: bool = field(default=False)
+
+    def covers(self, rule: str, line: int) -> bool:
+        return rule in self.rules and line in self.covered_lines
+
+
+@dataclass
+class SuppressionIndex:
+    """All suppressions of one file plus malformed-comment findings."""
+
+    suppressions: List[Suppression]
+    errors: List[Tuple[int, int, str, str]]  # (line, column, rule, message)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        hit = False
+        for suppression in self.suppressions:
+            if suppression.covers(rule, line):
+                suppression.used = True
+                hit = True
+        return hit
+
+    def unused(self) -> List[Suppression]:
+        return [entry for entry in self.suppressions if not entry.used]
+
+
+def _iter_comments(source: str) -> Iterable[Tuple[int, int, str, bool]]:
+    """Yield ``(line, column, text, standalone)`` for each comment token.
+
+    ``standalone`` is true when the comment is the only content on its line.
+    Tokenization errors (the engine reports syntax errors separately) yield
+    nothing.
+    """
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        row, col = token.start
+        prefix = lines[row - 1][:col] if row - 1 < len(lines) else ""
+        yield row, col, token.string, not prefix.strip()
+
+
+def _next_code_line(line: int, source_lines: List[str]) -> Optional[int]:
+    """First line after ``line`` that holds code (skipping blanks/comments)."""
+    for offset in range(line, len(source_lines)):
+        text = source_lines[offset].strip()
+        if text and not text.startswith("#"):
+            return offset + 1
+    return None
+
+
+def collect_suppressions(source: str, known_rules: Iterable[str]) -> SuppressionIndex:
+    """Parse every ``# repro: allow(...)`` comment of ``source``.
+
+    Malformed comments (no parentheses, empty id list, ids that do not look
+    like rule ids, or ids not present in ``known_rules``) are recorded as
+    engine findings ``ANA100`` / ``ANA101`` rather than silently ignored.
+    """
+    known = frozenset(known_rules)
+    source_lines = source.splitlines()
+    index = SuppressionIndex(suppressions=[], errors=[])
+    for line, column, text, standalone in _iter_comments(source):
+        match = _ALLOW_PATTERN.search(text)
+        if match is None:
+            if re.search(r"#\s*repro:", text):
+                index.errors.append(
+                    (line, column, "ANA100",
+                     "unrecognized `# repro:` directive; "
+                     "use `# repro: allow(RULE-ID)`")
+                )
+            continue
+        body = match.group(1)
+        if body is None or not body.strip():
+            index.errors.append(
+                (line, column, "ANA100",
+                 "suppression must name at least one rule id: "
+                 "`# repro: allow(RULE-ID)`")
+            )
+            continue
+        rules: List[str] = []
+        for raw in body.split(","):
+            rule_id = raw.strip()
+            if not RULE_ID_PATTERN.match(rule_id):
+                index.errors.append(
+                    (line, column, "ANA100",
+                     f"malformed rule id {rule_id!r} in suppression")
+                )
+            elif rule_id not in known:
+                index.errors.append(
+                    (line, column, "ANA101",
+                     f"suppression names unknown rule {rule_id!r}")
+                )
+            else:
+                rules.append(rule_id)
+        if not rules:
+            continue
+        covered = [line]
+        if standalone:
+            next_line = _next_code_line(line, source_lines)
+            if next_line is not None:
+                covered.append(next_line)
+        index.suppressions.append(
+            Suppression(line=line, rules=tuple(rules), covered_lines=tuple(covered))
+        )
+    return index

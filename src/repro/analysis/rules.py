@@ -1,0 +1,116 @@
+"""Rule framework and registry for the static-analysis engine.
+
+A rule is a named check over one module's AST.  Rules self-register via
+:func:`register_rule`, so adding a rule is: subclass :class:`Rule`, give it
+a unique ``rule_id``, implement :meth:`check`, and register an instance
+(see :mod:`repro.analysis.builtin` for the determinism rules and
+``docs/determinism.md`` for the authoring guide).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.analysis.findings import RULE_ID_PATTERN, Finding
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule may inspect about the module under analysis."""
+
+    path: str
+    tree: ast.Module
+    source_lines: Tuple[str, ...]
+
+    @property
+    def repro_parts(self) -> Optional[Tuple[str, ...]]:
+        """Module path below the ``repro`` package, or ``None`` outside it.
+
+        ``src/repro/core/system.py`` -> ``("core", "system")``.  Rules use
+        this for package scoping (e.g. the perf exemption of DET002), so
+        fixture sources analyzed under a virtual path scope identically.
+        """
+        parts = self.path.replace("\\", "/").split("/")
+        if "repro" not in parts:
+            return None
+        below = parts[parts.index("repro") + 1:]
+        if not below:
+            return None
+        leaf = below[-1]
+        if leaf.endswith(".py"):
+            leaf = leaf[: -len(".py")]
+        return tuple(below[:-1]) + (leaf,)
+
+    def package(self) -> Optional[str]:
+        """Top-level ``repro`` sub-package of this module (``"core"``, ...)."""
+        parts = self.repro_parts
+        if parts is None:
+            return None
+        return parts[0] if len(parts) > 1 else parts[0]
+
+
+class Rule:
+    """Base class for analysis rules.
+
+    Subclasses set ``rule_id`` (``ABC123`` shape), a one-line ``title`` and
+    a ``rationale`` (shown by ``repro analyze --list-rules`` and quoted in
+    ``docs/determinism.md``), then implement :meth:`check` yielding
+    ``(node-or-location, message)`` pairs.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, context: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+        raise NotImplementedError
+
+    def findings(self, context: ModuleContext) -> List[Finding]:
+        results: List[Finding] = []
+        for node, message in self.check(context):
+            line = getattr(node, "lineno", 1)
+            column = getattr(node, "col_offset", 0) + 1
+            results.append(
+                Finding(
+                    path=context.path,
+                    line=line,
+                    column=column,
+                    rule=self.rule_id,
+                    message=message,
+                )
+            )
+        return results
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(rule: Rule) -> Rule:
+    """Add ``rule`` to the global registry (unique, well-formed id required)."""
+    if not RULE_ID_PATTERN.match(rule.rule_id or ""):
+        raise ValueError(
+            f"rule id {rule.rule_id!r} does not match the ABC123 shape"
+        )
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+    _REGISTRY[rule.rule_id] = rule
+    return rule
+
+
+def iter_rules() -> Iterable[Rule]:
+    """All registered rules, ordered by rule id."""
+    return tuple(rule for _, rule in sorted(_REGISTRY.items()))
+
+
+def rule_ids() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise KeyError(f"unknown rule {rule_id!r}; registered: {known}") from None

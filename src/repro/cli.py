@@ -33,6 +33,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.analysis import cli as analysis_cli
 from repro.core.churn import ChurnConfig
 from repro.core.config import HOUR, MINUTE
 from repro.experiments.comparison import run_hit_ratio_comparison
@@ -180,6 +181,13 @@ def build_parser() -> argparse.ArgumentParser:
                                 "golden tolerance bands")
     diff_verb.add_argument("--all-metrics", action="store_true",
                            help="print unchanged metrics too")
+
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="static determinism/invariant analysis of the source tree "
+             "(rules DET001..DET006, see docs/determinism.md)",
+    )
+    analysis_cli.add_analyze_arguments(analyze)
 
     perf = subparsers.add_parser(
         "perf", help="run the perf-benchmark suite and emit BENCH_core.json"
@@ -905,6 +913,8 @@ def _dispatch(args: argparse.Namespace, out) -> int:
         if args.verb == "diff":
             return _command_scenarios_diff(args, out)
         return _command_scenarios_run(args, out)
+    if args.command == "analyze":
+        return analysis_cli.run_analyze(args, out)
     if args.command == "perf":
         return _command_perf(args, out)
     if args.command == "sweep":

@@ -63,6 +63,8 @@ class ChurnLogEntry:
 class ChurnInjector:
     """Injects failures, leaves and locality changes into a running system."""
 
+    __slots__ = ("_system", "_config", "_process", "log")
+
     def __init__(self, system: FlowerCDN, config: ChurnConfig) -> None:
         self._system = system
         self._config = config

@@ -42,7 +42,18 @@ checks these invariants end to end on every standard-tier scenario.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Set, Tuple
+import random
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.content_peer import ContentPeer, PushMessage
 from repro.core.directory_peer import DirectoryEntry, DirectoryPeer
@@ -117,7 +128,7 @@ class ColumnarView:
     def __contains__(self, contact: str) -> bool:
         return contact in self._pos
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[AgedEntry]:
         return iter(self.entries())
 
     def contacts(self) -> Sequence[str]:
@@ -233,7 +244,10 @@ class ColumnarView:
         return max(rows)[1]
 
     def select_subset_columns(
-        self, size: int, rng=None, exclude: Iterable[str] = ()
+        self,
+        size: int,
+        rng: Optional[random.Random] = None,
+        exclude: Iterable[str] = (),
     ) -> List[ViewColumn]:
         """``Lgossip`` random columns; draw-for-draw identical to the object path."""
         clock = self.clock
@@ -408,7 +422,9 @@ class KernelContentPeer(ContentPeer):
     def select_gossip_partner(self) -> Optional[str]:
         return self._view.select_oldest()
 
-    def build_gossip_message(self, rng=None) -> ColumnarGossipMessage:
+    def build_gossip_message(
+        self, rng: Optional[random.Random] = None
+    ) -> ColumnarGossipMessage:
         subset = self._view.select_subset_columns(
             self.config.gossip.gossip_length, rng=rng
         )

@@ -7,7 +7,7 @@ simulation time, all sizes are bytes unless stated otherwise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 #: seconds in one simulated minute / hour, used for readable defaults
 MINUTE = 60.0
@@ -196,7 +196,7 @@ class FlowerConfig:
         """D-ring size in its stable structure: one peer per (website, locality)."""
         return self.num_websites * self.num_localities
 
-    def with_gossip(self, **changes) -> "FlowerConfig":
+    def with_gossip(self, **changes: Any) -> "FlowerConfig":
         """Return a copy with updated gossip parameters (used by the Table 2 sweeps)."""
         return replace(self, gossip=replace(self.gossip, **changes))
 

@@ -16,7 +16,14 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.keys import KeyScheme
 from repro.overlay.chord import ChordRing
-from repro.overlay.router import KBRRouter, RouteResult, RoutingPolicy
+import random
+
+from repro.overlay.router import (
+    KBRRouter,
+    LatencyCallback,
+    RouteResult,
+    RoutingPolicy,
+)
 
 
 @dataclass(frozen=True)
@@ -32,12 +39,16 @@ class DirectoryPlacement:
 class DRing:
     """The directory overlay: engineered IDs over a Chord ring."""
 
+    __slots__ = ("_keys", "_ring", "_router", "_placements", "_by_pair")
+
     def __init__(
         self,
         keys: KeyScheme,
-        latency_callback=None,
+        latency_callback: Optional[LatencyCallback] = None,
         successor_list_size: int = 4,
-        ring=None,
+        # Nominally Chord; any overlay with the same surface works
+        # (PastryRing duck-types, exactly as KBRRouter accepts it).
+        ring: Optional[ChordRing] = None,
     ) -> None:
         """Create a D-ring over a structured overlay.
 
@@ -196,7 +207,7 @@ class DRing:
             key=lambda p: p.locality,
         )
 
-    def random_bootstrap_node(self, rng) -> Optional[int]:
+    def random_bootstrap_node(self, rng: random.Random) -> Optional[int]:
         """A random live D-ring node, used as the entry point of new clients."""
         live = self._ring.live_ids()
         if not live:

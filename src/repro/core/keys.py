@@ -43,6 +43,15 @@ class KeyScheme:
     ``replica_bits = 0`` the basic scheme is used.
     """
 
+    __slots__ = (
+        "_website_bits",
+        "_locality_bits",
+        "_replica_bits",
+        "_idspace",
+        "_decode_cache",
+        "_website_id_cache",
+    )
+
     def __init__(self, website_bits: int, locality_bits: int, replica_bits: int = 0) -> None:
         if website_bits <= 0 or locality_bits <= 0:
             raise ValueError("website_bits and locality_bits must be positive")

@@ -74,6 +74,8 @@ class ReplicationEvent:
 class ActiveReplicator:
     """Periodically pushes popular objects towards sibling content overlays."""
 
+    __slots__ = ("_system", "_config", "_process", "events")
+
     def __init__(self, system: FlowerCDN, config: ReplicationConfig | None = None) -> None:
         self._system = system
         self._config = config or ReplicationConfig()

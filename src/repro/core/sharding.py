@@ -36,7 +36,10 @@ shard advances window by window and emits a typed
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.scenarios.spec import ScenarioSpec
 
 #: fault models whose behaviour is a pure function of the simulation clock
 #: (no stream draws, no global victim selection) — safe to attach per shard
@@ -50,7 +53,7 @@ MAX_WINDOWS = 4096
 # -- validation ----------------------------------------------------------------
 
 
-def validate_shardable(spec) -> None:
+def validate_shardable(spec: "ScenarioSpec") -> None:
     """Raise ``ValueError`` unless ``spec`` fits the supported sharded regime.
 
     Sharding requires that every source of randomness is website-scoped or
@@ -80,7 +83,7 @@ def validate_shardable(spec) -> None:
 # -- shard planning ------------------------------------------------------------
 
 
-def queryable_websites(spec) -> Tuple[str, ...]:
+def queryable_websites(spec: "ScenarioSpec") -> Tuple[str, ...]:
     """The websites the workload can target, in catalogue order.
 
     Stationary workloads query the first ``active_websites`` catalogue
@@ -120,7 +123,7 @@ class ShardPlan:
         return tuple(name for shard in self.assignments for name in shard)
 
 
-def plan_shards(spec, num_shards: int) -> ShardPlan:
+def plan_shards(spec: "ScenarioSpec", num_shards: int) -> ShardPlan:
     """Round-robin the *whole catalogue* over ``num_shards`` shards.
 
     Every catalogue website is owned by exactly one shard — including the
@@ -149,7 +152,7 @@ def plan_shards(spec, num_shards: int) -> ShardPlan:
 # -- conservative windows ------------------------------------------------------
 
 
-def conservative_lookahead_s(spec) -> float:
+def conservative_lookahead_s(spec: "ScenarioSpec") -> float:
     """The minimum delay of any would-be cross-shard interaction.
 
     The earliest a shard could causally affect another is one background

@@ -11,6 +11,7 @@ code path serves content peers, directory entries and tests.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, Generic, Iterable, Iterator, List, Optional, Sequence, TypeVar
 
@@ -124,7 +125,12 @@ class AgedView(Generic[P]):
             return None
         return min(self._entries.values(), key=lambda e: (e.age, e.contact))
 
-    def select_subset(self, size: int, rng=None, exclude: Iterable[str] = ()) -> List[AgedEntry[P]]:
+    def select_subset(
+        self,
+        size: int,
+        rng: Optional[random.Random] = None,
+        exclude: Iterable[str] = (),
+    ) -> List[AgedEntry[P]]:
         """Random subset of at most ``size`` entries (``Lgossip`` selection)."""
         excluded = set(exclude)
         candidates = [e for e in self._entries.values() if e.contact not in excluded]

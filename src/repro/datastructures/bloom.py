@@ -16,7 +16,10 @@ from __future__ import annotations
 
 import hashlib
 import math
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator, List
+
+if TYPE_CHECKING:
+    from repro.datastructures.aged_view import AgedEntry
 
 
 def _hash_pair(item: str) -> tuple[int, int]:
@@ -62,7 +65,9 @@ def mask_for(num_bits: int, num_hashes: int, item: str) -> int:
     return _mask_for(num_bits, num_hashes, item)
 
 
-def entries_maybe_containing(entries, item: str) -> list:
+def entries_maybe_containing(
+    entries: "Iterable[AgedEntry[BloomFilter]]", item: str
+) -> "List[AgedEntry[BloomFilter]]":
     """Filter aged-view entries whose Bloom payload may contain ``item``.
 
     Hot-path helper for local query resolution: all summaries in one overlay

@@ -25,6 +25,14 @@ from repro.overlay.node import ChordNode, rebuild_routing_state
 class ChordRing:
     """A simulated Chord ring over an ``m``-bit identifier space."""
 
+    __slots__ = (
+        "idspace",
+        "successor_list_size",
+        "auto_stabilize",
+        "_nodes",
+        "_live_cache",
+    )
+
     def __init__(
         self,
         idspace: IdSpace,

@@ -166,6 +166,8 @@ def rebuild_pastry_state(nodes: Dict[int, "PastryNode"]) -> None:
 class PastryRing:
     """A simulated Pastry overlay with the same public surface as ChordRing."""
 
+    __slots__ = ("idspace", "digit_bits", "leaf_set_size", "auto_stabilize", "_nodes")
+
     def __init__(
         self,
         idspace: IdSpace,

@@ -63,6 +63,8 @@ Constraint = Callable[[int], bool]
 class KBRRouter:
     """Routes messages over a :class:`~repro.overlay.chord.ChordRing`."""
 
+    __slots__ = ("_ring", "_latency", "_max_hops")
+
     def __init__(
         self,
         ring: ChordRing,

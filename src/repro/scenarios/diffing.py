@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.scenarios.golden import EXACT, FRACTION_TOLERANCE, Tolerance, _tolerance_for
 
@@ -69,7 +69,9 @@ class DigestDiff:
         return [delta for delta in self.deltas if delta.delta not in (0.0, None)]
 
 
-def _metric_blocks(digest: Dict[str, object]):
+def _metric_blocks(
+    digest: Dict[str, object]
+) -> "Iterator[Tuple[str, bool, Dict[str, object]]]":
     """Yield (prefix, is_phase, metric_dict) blocks of one digest."""
     for system in sorted(digest.get("systems", {})):
         entry = digest["systems"][system]

@@ -30,7 +30,7 @@ import os
 import sys
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, TextIO
 
 from repro.scenarios.library import get_scenario, scenario_names
 from repro.scenarios.runner import ScenarioResult, run_scenario
@@ -261,7 +261,7 @@ def verify_golden(
 # -- command line (used by `make goldens` / CI) ------------------------------
 
 
-def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+def main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> int:
     out = out if out is not None else sys.stdout
     parser = argparse.ArgumentParser(
         prog="repro.scenarios.golden",

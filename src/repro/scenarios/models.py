@@ -31,7 +31,9 @@ Registering a custom model (e.g. from a test or a plugin)::
     class MyOutage:
         def __init__(self, at_s=600.0):
             self.at_s = at_s
-        def attach(self, system, spec):
+        def attach(
+        self, system: "FlowerCDN", spec: "ScenarioSpec"
+    ) -> Optional[Injector]:
             ...
 """
 
@@ -39,8 +41,13 @@ from __future__ import annotations
 
 import inspect
 import math
+import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Protocol, Tuple
+
+if TYPE_CHECKING:
+    from repro.core.system import FlowerCDN
+    from repro.scenarios.spec import ScenarioSpec
 
 from repro.core.churn import ChurnInjector, ChurnLogEntry
 from repro.network.reachability import (
@@ -53,6 +60,20 @@ from repro.network.reachability import (
 from repro.sim.process import PeriodicProcess
 
 #: default model names (the behaviour of pre-registry specs)
+class Injector(Protocol):
+    """What ``attach`` returns when a model has work to do: a start/stop
+    handle the session drives over the run's lifetime."""
+
+    def start(self) -> None: ...
+
+    def stop(self) -> None: ...
+
+
+#: a model factory as stored in the registries: called with the ModelRef's
+#: keyword parameters, returns the model object exposing ``attach``.
+ModelFactory = Callable[..., object]
+
+
 DEFAULT_CHURN_MODEL = "poisson"
 DEFAULT_FAULT_MODEL = "none"
 
@@ -83,22 +104,31 @@ class ModelRef:
 
 # -- registries ---------------------------------------------------------------
 
-_CHURN_MODELS: Dict[str, Callable] = {}
-_FAULT_MODELS: Dict[str, Callable] = {}
+_CHURN_MODELS: Dict[str, ModelFactory] = {}
+_FAULT_MODELS: Dict[str, ModelFactory] = {}
 
 
-def register_churn_model(name: str, factory: Optional[Callable] = None, *, overwrite: bool = False):
+def register_churn_model(
+    name: str, factory: Optional[ModelFactory] = None, *, overwrite: bool = False
+) -> ModelFactory:
     """Register a churn-model factory (usable as a decorator)."""
     return _register(_CHURN_MODELS, "churn", name, factory, overwrite)
 
 
-def register_fault_model(name: str, factory: Optional[Callable] = None, *, overwrite: bool = False):
+def register_fault_model(
+    name: str, factory: Optional[ModelFactory] = None, *, overwrite: bool = False
+) -> ModelFactory:
     """Register a fault-model factory (usable as a decorator)."""
     return _register(_FAULT_MODELS, "fault", name, factory, overwrite)
 
 
-def _register(registry: Dict[str, Callable], kind: str, name: str,
-              factory: Optional[Callable], overwrite: bool):
+def _register(
+    registry: Dict[str, ModelFactory],
+    kind: str,
+    name: str,
+    factory: Optional[ModelFactory],
+    overwrite: bool,
+) -> ModelFactory:
     def add(target: Callable) -> Callable:
         if name in registry and not overwrite:
             raise ValueError(f"{kind} model {name!r} is already registered")
@@ -124,25 +154,25 @@ def fault_model_names() -> List[str]:
     return sorted(_FAULT_MODELS)
 
 
-def churn_model_factories() -> Dict[str, Callable]:
+def churn_model_factories() -> Dict[str, ModelFactory]:
     """Registered churn-model factories by name (for discovery/CLI listings)."""
     return dict(sorted(_CHURN_MODELS.items()))
 
 
-def fault_model_factories() -> Dict[str, Callable]:
+def fault_model_factories() -> Dict[str, ModelFactory]:
     """Registered fault-model factories by name (for discovery/CLI listings)."""
     return dict(sorted(_FAULT_MODELS.items()))
 
 
-def build_churn_model(ref: ModelRef):
+def build_churn_model(ref: ModelRef) -> object:
     return _build(_CHURN_MODELS, "churn", ref)
 
 
-def build_fault_model(ref: ModelRef):
+def build_fault_model(ref: ModelRef) -> object:
     return _build(_FAULT_MODELS, "fault", ref)
 
 
-def _build(registry: Dict[str, Callable], kind: str, ref: ModelRef):
+def _build(registry: Dict[str, ModelFactory], kind: str, ref: ModelRef) -> object:
     try:
         factory = registry[ref.name]
     except KeyError:
@@ -170,7 +200,9 @@ def _build(registry: Dict[str, Callable], kind: str, ref: ModelRef):
 class NoChurn:
     """Churn disabled regardless of the spec's churn profile."""
 
-    def attach(self, system, spec):
+    def attach(
+        self, system: "FlowerCDN", spec: "ScenarioSpec"
+    ) -> Optional[Injector]:
         return None
 
 
@@ -189,7 +221,9 @@ class PoissonChurn:
             raise ValueError("tick_period_s must be positive or None")
         self.tick_period_s = tick_period_s
 
-    def attach(self, system, spec):
+    def attach(
+        self, system: "FlowerCDN", spec: "ScenarioSpec"
+    ) -> Optional[Injector]:
         config = spec.churn.to_config()
         if config is None:
             return None
@@ -203,7 +237,9 @@ class PoissonChurn:
 class BurstChurnInjector:
     """Periodic bursts of simultaneous content-peer failures."""
 
-    def __init__(self, system, period_s: float, burst_size: int) -> None:
+    def __init__(
+        self, system: "FlowerCDN", period_s: float, burst_size: int
+    ) -> None:
         self._system = system
         self._period_s = period_s
         self._burst_size = burst_size
@@ -258,7 +294,9 @@ class BurstChurn:
         self.period_s = period_s
         self.burst_size = burst_size
 
-    def attach(self, system, spec):
+    def attach(
+        self, system: "FlowerCDN", spec: "ScenarioSpec"
+    ) -> Optional[Injector]:
         return BurstChurnInjector(system, self.period_s, self.burst_size)
 
 
@@ -269,7 +307,9 @@ class BurstChurn:
 class NoFaults:
     """No scheduled disturbance events (the default)."""
 
-    def attach(self, system, spec):
+    def attach(
+        self, system: "FlowerCDN", spec: "ScenarioSpec"
+    ) -> Optional[Injector]:
         return None
 
 
@@ -317,12 +357,25 @@ class _GossipLossModel(ReachabilityModel):
 
     emits_metrics = False
 
-    def __init__(self, injector: "GossipLossInjector", stream, probability: float) -> None:
+    def __init__(
+        self,
+        injector: "GossipLossInjector",
+        stream: random.Random,
+        probability: float,
+    ) -> None:
         self._injector = injector
         self._stream = stream
         self._probability = probability
 
-    def allows(self, kind, src_host, dst_host, src_id, dst_id, now) -> bool:
+    def allows(
+        self,
+        kind: str,
+        src_host: int,
+        dst_host: int,
+        src_id: Optional[str],
+        dst_id: Optional[str],
+        now: float,
+    ) -> bool:
         if kind != "gossip":
             return True
         injector = self._injector
@@ -347,7 +400,7 @@ class GossipLossInjector:
     committed ``gossip-lossy`` golden is reproduced byte for byte.
     """
 
-    def __init__(self, system, drop_probability: float) -> None:
+    def __init__(self, system: "FlowerCDN", drop_probability: float) -> None:
         self._system = system
         self._drop_probability = drop_probability
         self.dropped = 0
@@ -379,7 +432,9 @@ class GossipLoss:
             raise ValueError("drop_probability must be in [0, 1]")
         self.drop_probability = drop_probability
 
-    def attach(self, system, spec):
+    def attach(
+        self, system: "FlowerCDN", spec: "ScenarioSpec"
+    ) -> Optional[Injector]:
         if self.drop_probability == 0.0:
             # No loss means no filter and no stream draws: the run stays
             # byte-identical to the "none" fault model.
@@ -418,7 +473,9 @@ class CorrelatedLocalityFaults:
         self.include_directories = include_directories
         self.repeat_every_s = repeat_every_s
 
-    def attach(self, system, spec):
+    def attach(
+        self, system: "FlowerCDN", spec: "ScenarioSpec"
+    ) -> Optional[Injector]:
         duration = system.config.simulation_duration_s
         injector = ScheduledFaultInjector(
             system=system,
@@ -429,7 +486,7 @@ class CorrelatedLocalityFaults:
         injector.fire = lambda: self._fire(system, injector.log)
         return injector
 
-    def _fire(self, system, log: List[ChurnLogEntry]) -> None:
+    def _fire(self, system: "FlowerCDN", log: List[ChurnLogEntry]) -> None:
         sim = system.sim
         alive = system.alive_content_peer_ids(self.locality)
         if alive:
@@ -466,7 +523,7 @@ class ReachabilityInjector:
 
     def __init__(
         self,
-        system,
+        system: "FlowerCDN",
         model: ReachabilityModel,
         reconcile_at: Tuple[float, ...] = (),
         localities: Optional[Tuple[int, ...]] = None,
@@ -546,7 +603,9 @@ class LocalityPartitionFault:
         self.asymmetric = asymmetric
         self.reconcile_on_heal = reconcile_on_heal
 
-    def attach(self, system, spec):
+    def attach(
+        self, system: "FlowerCDN", spec: "ScenarioSpec"
+    ) -> Optional[Injector]:
         duration = system.config.simulation_duration_s
         start = self.at_fraction * duration
         end = min(duration, start + self.duration_fraction * duration)
@@ -585,7 +644,9 @@ class LinkLossFault:
         self.drop_probability = drop_probability
         self.kinds = kinds
 
-    def attach(self, system, spec):
+    def attach(
+        self, system: "FlowerCDN", spec: "ScenarioSpec"
+    ) -> Optional[Injector]:
         if self.drop_probability == 0.0:
             # No loss means no gate and no stream draws: the run stays
             # byte-identical to the "none" fault model.
@@ -631,7 +692,9 @@ class CascadingDirectoryFailures:
         self.locality = locality
         self.reconcile_on_heal = reconcile_on_heal
 
-    def attach(self, system, spec):
+    def attach(
+        self, system: "FlowerCDN", spec: "ScenarioSpec"
+    ) -> Optional[Injector]:
         duration = system.config.simulation_duration_s
         start = self.start_fraction * duration
         interval = self.interval_fraction * duration

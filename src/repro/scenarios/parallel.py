@@ -18,7 +18,7 @@ import multiprocessing
 import os
 import reprlib
 import traceback
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.scenarios import golden as golden_module
 from repro.scenarios.library import get_scenario, scenario_names
@@ -61,10 +61,10 @@ class _TaskCall:
 
     __slots__ = ("fn",)
 
-    def __init__(self, fn):
+    def __init__(self, fn: Callable[[Any], Any]) -> None:
         self.fn = fn
 
-    def __call__(self, indexed):
+    def __call__(self, indexed: Tuple[int, Any]) -> Tuple[bool, Any]:
         index, task = indexed
         try:
             return True, self.fn(task)
@@ -73,7 +73,7 @@ class _TaskCall:
 
 
 def map_tasks(
-    fn,
+    fn: Callable[[Any], Any],
     tasks: Sequence,
     jobs: Optional[int] = None,
     chunksize: Optional[int] = None,

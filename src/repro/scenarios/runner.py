@@ -20,11 +20,14 @@ suite in :mod:`repro.scenarios.golden` relies on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.experiments.driver import ExperimentRunner, RunResult
 from repro.metrics.timeseries import TimeSeries
 from repro.scenarios.spec import ScenarioSpec
+
+if TYPE_CHECKING:
+    from repro.session import Session
 
 #: digest metrics that are integer counts (never rounded in digests)
 INTEGER_METRICS = (
@@ -189,7 +192,7 @@ class ScenarioRunner:
         self.seed = self._session.seed
 
     @property
-    def session(self):
+    def session(self) -> "Session":
         """The Session this shim wraps."""
         return self._session
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import heapq
 from bisect import insort
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional, Sequence, Tuple
 
 from repro.sim.events import (
     _COMPACT_MIN_DEAD,
@@ -157,7 +157,12 @@ class CalendarEventQueue:
         return True
 
     def _new_event(
-        self, time: float, sequence: int, callback, label: str, poolable: bool
+        self,
+        time: float,
+        sequence: int,
+        callback: Callable[[], Any],
+        label: str,
+        poolable: bool,
     ) -> Event:
         pool = self._pool
         if pool:
@@ -171,7 +176,7 @@ class CalendarEventQueue:
             return event
         return Event(time, sequence, callback, False, label, poolable)
 
-    def _maybe_tune_width(self, times) -> None:
+    def _maybe_tune_width(self, times: Sequence[float]) -> None:
         """Fix the bucket width from the first large bulk schedule.
 
         Aims at :data:`_TARGET_BUCKET_OCCUPANCY` events per bucket over the
@@ -213,7 +218,11 @@ class CalendarEventQueue:
         self._entries += 1
         return event
 
-    def extend(self, items, label: str = "") -> list[Event]:
+    def extend(
+        self,
+        items: Iterable[Tuple[float, Callable[[], Any]]],
+        label: str = "",
+    ) -> list[Event]:
         """Bulk-schedule ``(time, callback)`` pairs and return their handles."""
         entries: list[tuple] = []
         sequence = self._next_sequence
@@ -232,7 +241,12 @@ class CalendarEventQueue:
         self._entries += len(entries)
         return [entry[2] for entry in entries]
 
-    def extend_transient(self, times, callback: Callable[[], Any], label: str = "") -> int:
+    def extend_transient(
+        self,
+        times: Iterable[float],
+        callback: Callable[[], Any],
+        label: str = "",
+    ) -> int:
         """Bulk-schedule pooled fire-and-forget events sharing one ``callback``.
 
         No handles are returned (they may be recycled the moment they fire),

@@ -13,7 +13,7 @@ latencies supplied by the network layer.
 from __future__ import annotations
 
 from itertools import islice
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.sim.calendar import CalendarEventQueue
 from repro.sim.events import Event, EventQueue
@@ -42,6 +42,17 @@ class Simulator:
             paper-scale trace replay).  Both produce byte-identical runs; see
             ``docs/performance.md`` for the selection heuristic.
     """
+
+    __slots__ = (
+        "_queue",
+        "_queue_backend",
+        "_now",
+        "_end_time",
+        "_running",
+        "_stopped",
+        "_events_fired",
+        "streams",
+    )
 
     def __init__(
         self,
@@ -102,7 +113,11 @@ class Simulator:
             raise SimulationError(f"delay must be non-negative, got {delay}")
         return self._queue.push(self._now + delay, callback, label=label)
 
-    def schedule_batch(self, items, label: str = "") -> list:
+    def schedule_batch(
+        self,
+        items: Iterable[Tuple[float, Callable[[], Any]]],
+        label: str = "",
+    ) -> List[Event]:
         """Schedule many ``(time, callback)`` pairs in one bulk operation.
 
         Semantically identical to calling :meth:`at` per pair, but the queue
@@ -120,7 +135,7 @@ class Simulator:
 
     def schedule_trace(
         self,
-        times,
+        times: Iterable[float],
         callback: Callable[[], Any],
         label: str = "trace",
         chunk_size: int = TRACE_CHUNK_SIZE,

@@ -26,7 +26,7 @@ built for speed:
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional, Tuple
 
 #: compaction is considered once this many cancelled entries have accumulated
 #: (tiny heaps are never worth compacting) ...
@@ -147,7 +147,11 @@ class EventQueue:
         self._live += 1
         return event
 
-    def extend(self, items, label: str = "") -> list[Event]:
+    def extend(
+        self,
+        items: Iterable[Tuple[float, Callable[[], Any]]],
+        label: str = "",
+    ) -> list[Event]:
         """Bulk-schedule ``(time, callback)`` pairs and return their handles.
 
         Equivalent to calling :meth:`push` per pair (sequence numbers are
@@ -170,7 +174,12 @@ class EventQueue:
         self._live += len(entries)
         return [entry[2] for entry in entries]
 
-    def extend_transient(self, times, callback: Callable[[], Any], label: str = "") -> int:
+    def extend_transient(
+        self,
+        times: Iterable[float],
+        callback: Callable[[], Any],
+        label: str = "",
+    ) -> int:
         """Bulk-schedule pooled fire-and-forget events sharing one ``callback``.
 
         Unlike :meth:`extend` no handles are returned: the events are marked

@@ -26,6 +26,8 @@ def derive_seed(master_seed: int, name: str) -> int:
 class RandomStreams:
     """A registry of named, independently seeded ``random.Random`` streams."""
 
+    __slots__ = ("_master_seed", "_streams")
+
     def __init__(self, master_seed: int = 42) -> None:
         self._master_seed = master_seed
         self._streams: Dict[str, random.Random] = {}

@@ -19,7 +19,7 @@ import csv
 import io
 import json
 from pathlib import Path
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Tuple
 
 from repro.metrics.report import format_table
 from repro.sweeps.engine import SweepResult

@@ -34,7 +34,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.scenarios.golden import GOLDEN_SCALE, GOLDEN_SEED, _compare_metric_block
 from repro.sweeps.engine import run_sweep
-from repro.sweeps.library import get_sweep, sweep_names
+from repro.sweeps.library import sweep_names
 
 __all__ = [
     "SWEEP_GOLDEN_SCALE",

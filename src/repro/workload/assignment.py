@@ -45,6 +45,15 @@ class ResolvedQuery:
 class ClientAssigner:
     """Tracks per-(website, locality) client populations and assigns originators."""
 
+    __slots__ = (
+        "_topology",
+        "_streams",
+        "_max_clients",
+        "_reserved",
+        "_clients",
+        "_available",
+    )
+
     def __init__(
         self,
         topology: Topology,

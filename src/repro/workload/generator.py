@@ -85,6 +85,21 @@ class Query:
 class QueryGenerator:
     """Generates the stream of :class:`Query` objects driving an experiment."""
 
+    __slots__ = (
+        "_config",
+        "_streams",
+        "_catalog",
+        "_active",
+        "_samplers",
+        "_phase_samplers",
+        "_next_id",
+        "_arrival_rng",
+        "_locality_rng",
+        "_website_rng",
+        "_zipf_rng",
+        "_originator_rng",
+    )
+
     def __init__(
         self,
         config: WorkloadConfig,

@@ -65,6 +65,8 @@ class TraceRecord:
 class QueryTrace:
     """An ordered, replayable sequence of queries."""
 
+    __slots__ = ("_records",)
+
     def __init__(self, records: Iterable[TraceRecord] = ()) -> None:
         self._records: List[TraceRecord] = sorted(records, key=lambda r: (r.time, r.query_id))
 

@@ -1,0 +1,15 @@
+"""Fixture: DET001-clean (seeded, injected Random instances only)."""
+import random
+from random import Random
+
+
+def make(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def make_from_class(seed: int) -> Random:
+    return Random(seed)
+
+
+def draw(rng: random.Random) -> float:
+    return rng.random()

@@ -1,0 +1,19 @@
+"""Fixture: DET001 violations (module-level random, unseeded Random)."""
+import random
+from random import choice  # expect: DET001
+
+
+def draw() -> float:
+    return random.random()  # expect: DET001
+
+
+def pick(items):
+    return choice(items)
+
+
+def make_rng():
+    return random.Random()  # expect: DET001
+
+
+def shuffle_in_place(items):
+    random.shuffle(items)  # expect: DET001

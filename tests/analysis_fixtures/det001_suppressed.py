@@ -1,0 +1,6 @@
+"""Fixture: DET001 violation silenced by an inline suppression."""
+import random
+
+
+def entropy() -> float:
+    return random.random()  # repro: allow(DET001)

@@ -1,0 +1,9 @@
+"""Fixture: wall-clock reads are allowed inside the perf package.
+
+This file is analyzed under a virtual ``src/repro/perf/...`` path.
+"""
+import time
+
+
+def measure() -> float:
+    return time.perf_counter()

@@ -1,0 +1,21 @@
+"""Fixture: DET002 violations (wall-clock reads outside repro.perf)."""
+import datetime
+import time
+from datetime import datetime as dt
+from time import monotonic
+
+
+def stamp() -> float:
+    return time.time()  # expect: DET002
+
+
+def mono() -> float:
+    return monotonic()  # expect: DET002
+
+
+def now():
+    return datetime.datetime.now()  # expect: DET002
+
+
+def utc():
+    return dt.utcnow()  # expect: DET002

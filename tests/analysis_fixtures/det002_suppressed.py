@@ -1,0 +1,8 @@
+"""Fixture: DET002 violation silenced by a standalone comment above."""
+import time
+
+
+def wall_stats() -> float:
+    # repro: allow(DET002)
+    started = time.perf_counter()
+    return started

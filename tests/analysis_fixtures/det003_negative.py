@@ -1,0 +1,16 @@
+"""Fixture: DET003-clean (sorted wraps, ordered structures, reductions)."""
+
+
+def merge(ids: set) -> list:
+    ordered = [peer for peer in sorted(ids)]
+    table = {"a": 1, "b": 2}
+    rows = [key for key in table]
+    total = len(ids)
+    present = "a" in ids
+    return ordered + rows + [total, present]
+
+
+def reuse_of_name_outside_scope(ids: list) -> list:
+    # `ids` is a set in `merge` above but a list here; per-scope inference
+    # must not leak between functions.
+    return [peer for peer in ids]

@@ -1,0 +1,12 @@
+"""Fixture: DET003 violations (unordered iteration on draw/merge paths)."""
+
+
+def merge(ids: set) -> list:
+    result = []
+    for peer in ids:  # expect: DET003
+        result.append(peer)
+    members = {1, 2, 3}
+    ordered = [x for x in members]  # expect: DET003
+    listed = list({"a", "b"} | {"c"})  # expect: DET003
+    keys = [k for k in {"k": 1}.keys()]  # expect: DET003
+    return result + ordered + listed + keys

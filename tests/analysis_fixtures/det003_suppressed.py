@@ -1,0 +1,6 @@
+"""Fixture: DET003 violation silenced by a standalone comment above."""
+
+
+def merge(ids: set) -> list:
+    # repro: allow(DET003)
+    return [peer for peer in ids]

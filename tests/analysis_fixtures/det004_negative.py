@@ -1,0 +1,9 @@
+"""Fixture: DET004-clean (literal or ordered-field stream names)."""
+from repro.sim.rng import derive_seed
+
+
+def seed_streams(streams, website: str, locality: int):
+    streams.stream("gossip:global")
+    streams.stream(f"gossip:{website}:{locality}")
+    streams.randint(f"churn:{website}", 0, 10)
+    return derive_seed(42, f"bootstrap:{website}")

@@ -1,0 +1,8 @@
+"""Fixture: DET004 violations (unstable RNG stream names)."""
+from repro.sim.rng import derive_seed
+
+
+def seed_streams(streams, websites):
+    streams.stream(f"gossip:{set(websites)}")  # expect: DET004
+    streams.uniform(f"w:{ {1, 2} }", 0.0, 1.0)  # expect: DET004
+    return derive_seed(42, f"s:{hash('x')}")  # expect: DET004

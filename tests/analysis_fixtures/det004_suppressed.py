@@ -1,0 +1,5 @@
+"""Fixture: DET004 violation silenced by an inline suppression."""
+
+
+def seed_streams(streams, websites):
+    return streams.stream(f"gossip:{set(websites)}")  # repro: allow(DET004)

@@ -1,0 +1,27 @@
+"""Fixture: DET005-clean (slotted value class; non-value classes skipped)."""
+
+
+class SlottedView:
+    __slots__ = ("contact", "age")
+
+    def __init__(self, contact: str, age: int) -> None:
+        self.contact = contact
+        self.age = age
+
+
+class Stateful:
+    """Not a simple value class: __init__ does work beyond assignment."""
+
+    def __init__(self, registry: dict) -> None:
+        self.registry = dict(registry)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        pass
+
+
+class Derived(SlottedView):
+    """Classes with bases are skipped (base layout may require __dict__)."""
+
+    def __init__(self, contact: str) -> None:
+        super().__init__(contact, 0)

@@ -1,0 +1,11 @@
+"""Fixture: DET005 violation (hot-path value class without __slots__)."""
+
+
+class PeerView:  # expect: DET005
+    """A value class whose __init__ only assigns fields."""
+
+    def __init__(self, contact: str, age: int) -> None:
+        if age < 0:
+            raise ValueError("age must be non-negative")
+        self.contact = contact
+        self.age = age

@@ -1,0 +1,6 @@
+"""Fixture: DET005 violation silenced by an inline suppression."""
+
+
+class LegacyView:  # repro: allow(DET005)
+    def __init__(self, contact: str) -> None:
+        self.contact = contact

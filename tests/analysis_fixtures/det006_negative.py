@@ -1,0 +1,11 @@
+"""Fixture: DET006-clean (None defaults, immutable defaults)."""
+
+
+def extend(items, seen=None):
+    seen = list(seen or [])
+    seen.extend(items)
+    return seen
+
+
+def window(size: int = 10, label: str = "w", bounds: tuple = ()) -> str:
+    return f"{label}:{size}:{bounds}"

@@ -1,0 +1,14 @@
+"""Fixture: DET006 violations (mutable default arguments)."""
+
+
+def extend(items, seen=[]):  # expect: DET006
+    seen.extend(items)
+    return seen
+
+
+def index(rows, table=dict()):  # expect: DET006
+    return table
+
+
+def tag(values, *, marks={1}):  # expect: DET006
+    return marks

@@ -1,0 +1,5 @@
+"""Fixture: DET006 violation silenced by an inline suppression."""
+
+
+def memo(key, cache={}):  # repro: allow(DET006)
+    return cache.setdefault(key, key)

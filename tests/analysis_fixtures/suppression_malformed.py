@@ -1,0 +1,18 @@
+"""Fixture: malformed / unknown / unused suppressions are findings."""
+import random
+
+
+def draw() -> float:
+    return random.random()  # repro: allow()
+
+
+def other() -> int:
+    return 1  # repro: allow(NOTARULE)
+
+
+def unknown() -> int:
+    return 2  # repro: allow(DET999)
+
+
+def unused() -> int:
+    return 3  # repro: allow(DET001)

@@ -25,9 +25,11 @@ SNAPSHOT_PATH = Path(__file__).parent / "api_surface.json"
 
 
 def current_surface() -> dict:
+    import repro.analysis
     import repro.scenarios
     import repro.session
     import repro.sweeps
+    from repro.analysis import rule_ids
     from repro.scenarios.models import churn_model_names, fault_model_names
     from repro.scenarios.program import WorkloadPhase
     from repro.scenarios.spec import ScenarioSpec
@@ -58,6 +60,8 @@ def current_surface() -> dict:
         "churn_models": churn_model_names(),
         "fault_models": fault_model_names(),
         "sweeps": sweep_names(),
+        "repro.analysis": sorted(repro.analysis.__all__),
+        "analysis_rules": sorted(rule_ids()),
     }
 
 

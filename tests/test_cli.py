@@ -37,6 +37,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             cli.build_parser().parse_args(["frobnicate"])
 
+    def test_help_lists_the_analyze_verb(self):
+        assert "analyze" in cli.build_parser().format_help()
+
+    def test_analyze_defaults(self):
+        args = cli.build_parser().parse_args(["analyze"])
+        assert args.command == "analyze"
+        assert args.format == "text"
+        assert not args.changed
+        assert not args.list_rules
+
     def test_scale_options_have_defaults(self):
         args = cli.build_parser().parse_args(["run"])
         assert args.duration_hours == 3.0

@@ -15,7 +15,6 @@ from repro.sweeps.artifacts import (
     to_markdown,
 )
 from repro.sweeps.engine import run_sweep
-from repro.sweeps.library import get_sweep
 
 TINY_SCALE = 0.1
 
