@@ -11,6 +11,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
         goldens-sweeps-paper sweep-smoke sweeps \
         bench-smoke bench scenarios api-surface api-surface-update \
         perf perf-check perf-baseline perf-paper \
+        serve service-smoke \
         analyze analyze-changed lint typecheck
 
 ## tier-1 test suite (unit + property + scenario + golden tests + benchmarks)
@@ -101,6 +102,15 @@ check-goldens-paper:
 ## regenerate the nightly scale-1.0 sweep golden (Table 2a grid; minutes)
 goldens-sweeps-paper:
 	$(PYTHON) -m repro.sweeps.golden --update --scale 1.0 table2a-gossip-length
+
+## run the HTTP job service on the default port (see docs/service.md)
+serve:
+	$(PYTHON) -m repro.cli serve --store run-store
+
+## boot the service on an ephemeral port and drive the end-to-end smoke
+## (dedupe, byte-identity vs a direct run, 429 backpressure, graceful drain)
+service-smoke:
+	$(PYTHON) scripts/service_smoke.py --store service-smoke-store
 
 ## determinism/invariant static analysis (rules DET001..DET006, in-tree, no deps)
 analyze:

@@ -9,6 +9,7 @@ Usage (after installation)::
     python -m repro.cli scenarios run NAME     # run one scenario, print metrics JSON
     python -m repro.cli sweep list             # the registered parameter sweeps
     python -m repro.cli sweep run NAME         # run one sweep grid (--jobs N, --out DIR)
+    python -m repro.cli serve                  # HTTP job service with a run cache
 
 ``sweep`` without a verb (flag-style options only) remains reachable as the
 deprecated legacy Table 2 runner.
@@ -154,6 +155,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="ratio-preserving scale factor (default 1.0)")
     run_verb.add_argument("--table", action="store_true",
                           help="print a human-readable table instead of JSON")
+    run_verb.add_argument("--out", type=str, default=None, metavar="DIR",
+                          help="additionally export the run bundle "
+                               "(digest.json/result.json/series.csv/summary.md"
+                               " — the exact layout the `repro serve` run "
+                               "store keeps) into DIR")
     run_verb.add_argument("--shards", type=int, default=None, metavar="N",
                           help="run through the space-parallel shard engine "
                                "with N shard engines (N >= 2; results are "
@@ -223,6 +229,34 @@ def build_parser() -> argparse.ArgumentParser:
                            "paper_scale_sharded section")
     perf.add_argument("--no-memory", dest="memory", action="store_false",
                       help="skip the tracemalloc memory benchmarks")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the HTTP job service (scenario/sweep runs with a "
+             "digest-keyed run cache; see docs/service.md)",
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8437,
+                       help="listen port (default 8437; 0 picks an "
+                            "ephemeral port and prints it)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker processes executing jobs (default: CPU "
+                            "affinity count, capped at 4)")
+    serve.add_argument("--max-queue", type=int, default=16, metavar="M",
+                       help="queued-job bound before submissions get "
+                            "HTTP 429 + Retry-After (default 16)")
+    serve.add_argument("--store", type=str, default="run-store", metavar="DIR",
+                       help="on-disk run store directory (default ./run-store)")
+    serve.add_argument("--store-max-bytes", type=int, default=None, metavar="B",
+                       help="evict least-recently-used run bundles once the "
+                            "store exceeds B bytes (default: unbounded)")
+    serve.add_argument("--timeout", type=float, default=3600.0, metavar="S",
+                       dest="timeout_s",
+                       help="per-job wall-clock timeout in seconds "
+                            "(default 3600; 0 disables)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
     return parser
 
 
@@ -791,6 +825,11 @@ def _command_scenarios_run(args: argparse.Namespace, out) -> int:
         shards=args.shards,
         shard_jobs=args.shard_jobs,
     )
+    if args.out is not None:
+        from repro.scenarios.artifacts import export_run_bundle
+
+        for path in export_run_bundle(result, Path(args.out), scale=args.scale):
+            print(f"wrote {path}", file=out)
     if args.table:
         for name, system in result.systems.items():
             print(
@@ -888,6 +927,69 @@ def _command_perf(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace, out) -> int:
+    """The ``serve`` verb: run the HTTP job service until SIGTERM/SIGINT.
+
+    Termination signals trigger a graceful drain — the server stops
+    accepting submissions, finishes every in-flight job (the run store is
+    already durable for each completed one), and exits 0.
+    """
+    import signal
+    import threading
+
+    from repro.service import ReproService, ServiceConfig
+
+    if args.port < 0:
+        print("error: --port must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_queue=args.max_queue,
+            store_dir=Path(args.store),
+            store_max_bytes=args.store_max_bytes,
+            timeout_s=None if args.timeout_s <= 0 else args.timeout_s,
+            verbose=args.verbose,
+        )
+        service = ReproService(config)
+        service.start()
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"repro serve listening on {service.url} "
+        f"(store: {config.store_dir}, workers: {service.manager.workers}, "
+        f"max-queue: {config.max_queue})",
+        file=out,
+        flush=True,
+    )
+    stop = threading.Event()
+
+    def _on_signal(signum: int, _frame: object) -> None:
+        print(
+            f"received {signal.Signals(signum).name}: draining in-flight jobs",
+            file=out,
+            flush=True,
+        )
+        stop.set()
+
+    previous = {
+        signum: signal.signal(signum, _on_signal)
+        for signum in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        while not stop.is_set():
+            stop.wait(0.2)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    drained = service.stop(drain=True)
+    print("drained" if drained else "drain timed out", file=out, flush=True)
+    return 0 if drained else 1
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """Entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -919,6 +1021,8 @@ def _dispatch(args: argparse.Namespace, out) -> int:
         return _command_perf(args, out)
     if args.command == "sweep":
         return _command_sweep(args, out)
+    if args.command == "serve":
+        return _command_serve(args, out)
     setup = setup_from_args(args)
     handlers = {
         "run": _command_run,

@@ -17,8 +17,8 @@ covers ad-hoc tweaks.  The named library of specs lives in
 from __future__ import annotations
 
 import math
-from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.baselines.squirrel import SquirrelConfig
 from repro.core.churn import ChurnConfig
@@ -351,3 +351,66 @@ class ScenarioSpec:
         data["churn_model"] = self.churn_model.to_dict()
         data["fault_model"] = self.fault_model.to_dict()
         return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScenarioSpec":
+        """Rebuild a spec from its :meth:`to_dict` description.
+
+        The inverse of :meth:`to_dict` — ``ScenarioSpec.from_dict(spec.to_dict())``
+        reproduces ``spec`` exactly, including the nested churn profile, model
+        references and workload program.  This is how external representations
+        (golden files, the ``repro serve`` HTTP API) turn back into runnable
+        specs; unknown keys are rejected so a typo fails loudly instead of
+        silently running the defaults.
+        """
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown ScenarioSpec field(s): {', '.join(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        kwargs: Dict[str, object] = dict(data)
+        churn = kwargs.get("churn")
+        if isinstance(churn, Mapping):
+            kwargs["churn"] = ChurnProfile(**{str(k): v for k, v in churn.items()})
+        for key in ("churn_model", "fault_model"):
+            ref = kwargs.get(key)
+            if isinstance(ref, str):
+                kwargs[key] = ModelRef(ref)
+            elif isinstance(ref, Mapping):
+                params = ref.get("params", {})
+                if not isinstance(params, Mapping):
+                    raise ValueError(f"{key}.params must be a mapping")
+                kwargs[key] = ModelRef.of(
+                    str(ref.get("name", "")),
+                    **{str(k): _freeze_value(v) for k, v in params.items()},
+                )
+        program = kwargs.get("program")
+        if program is not None:
+            if not isinstance(program, (list, tuple)):
+                raise ValueError("program must be a list of phase objects")
+            kwargs["program"] = tuple(
+                phase
+                if isinstance(phase, WorkloadPhase)
+                else WorkloadPhase(**{str(k): v for k, v in dict(phase).items()})
+                for phase in program
+            )
+        weights = kwargs.get("locality_weights")
+        if weights is not None:
+            if not isinstance(weights, (list, tuple)):
+                raise ValueError("locality_weights must be a list of numbers")
+            kwargs["locality_weights"] = tuple(weights)
+        systems = kwargs.get("systems")
+        if systems is not None:
+            if not isinstance(systems, (list, tuple)):
+                raise ValueError("systems must be a list of system names")
+            kwargs["systems"] = tuple(systems)
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+
+def _freeze_value(value: object) -> object:
+    """JSON-decoded model parameters, hashable again (lists become tuples)."""
+    if isinstance(value, list):
+        return tuple(_freeze_value(item) for item in value)
+    return value

@@ -1,0 +1,617 @@
+"""Job-execution layer of the ``repro serve`` service.
+
+A :class:`JobManager` owns a bounded FIFO queue of jobs and a pool of worker
+threads.  Each worker executes one job at a time **in a child process**
+(fork + pipe), so a crashing or runaway run can never take the server down:
+a worker traceback comes back as text and becomes a ``failed`` status
+carrying the familiar :class:`~repro.scenarios.parallel.TaskError` detail,
+a per-job timeout terminates only that job's process, and ``DELETE`` on a
+running job terminates it cleanly.  Worker sizing defaults to the same
+CPU-affinity heuristic as the batch runners
+(:func:`repro.scenarios.parallel.default_jobs`).
+
+Jobs are deduplicated by the canonical request digest
+(:func:`repro.service.store.request_digest`): submitting an identical
+``(spec, seed, scale, shards, kernel)`` request while a matching job is
+queued, running or done returns the same job; a digest already present in
+the :class:`~repro.service.store.RunStore` completes instantly from cache.
+Everything executes through :class:`repro.session.Session` — the service
+adds no execution semantics, so results are byte-identical to CLI runs by
+construction.
+
+Wall-clock timestamps (submission/start/finish times reported by the API)
+flow through an injectable ``clock`` callable — the sanctioned clock hook —
+whose default is the single wall-clock read of the package.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.scenarios.artifacts import dumps_json, run_documents
+from repro.scenarios.parallel import TaskError, default_jobs
+from repro.scenarios.spec import ScenarioSpec
+from repro.service.store import RunStore, request_digest
+
+__all__ = [
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "JOB_STATES",
+    "Job",
+    "JobManager",
+    "QueueFullError",
+    "ServiceClosedError",
+    "canonical_scenario_payload",
+    "canonical_sweep_payload",
+    "execute_request",
+]
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+#: every state a job can report, in lifecycle order
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+_TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+#: characters of the request digest used as the public run id
+RUN_ID_LENGTH = 16
+
+
+def wall_clock() -> float:
+    """The package's sanctioned wall-clock hook (job timestamps only).
+
+    Simulation results never depend on it — it feeds the ``submitted_at`` /
+    ``started_at`` / ``finished_at`` fields the HTTP API reports.  Tests and
+    deterministic harnesses inject their own counter via
+    ``JobManager(clock=...)``.
+    """
+    return time.time()  # repro: allow(DET002)
+
+
+class QueueFullError(RuntimeError):
+    """The bounded job queue is full; retry after ``retry_after_s``."""
+
+    def __init__(self, retry_after_s: int) -> None:
+        super().__init__(f"job queue full; retry after ~{retry_after_s}s")
+        self.retry_after_s = retry_after_s
+
+
+class ServiceClosedError(RuntimeError):
+    """The manager is draining and no longer accepts submissions."""
+
+
+# -- canonical request payloads ----------------------------------------------
+
+
+def canonical_scenario_payload(
+    spec: ScenarioSpec,
+    seed: Optional[int] = None,
+    scale: float = 1.0,
+    shards: Optional[int] = None,
+    kernel: bool = False,
+) -> Dict[str, object]:
+    """The canonical, digest-stable payload of one scenario run request.
+
+    The scale factor is applied to the spec here, and every knob that can
+    change result *bytes or identity* (spec, seed, scale, shards, kernel) is
+    part of the payload — execution hints that cannot (worker counts) are
+    not.  Two requests dedupe to one run exactly when these payloads match.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    resolved_shards = spec.shards if shards is None else shards
+    if resolved_shards < 1:
+        raise ValueError("shards must be >= 1")
+    return {
+        "kind": "scenario",
+        "spec": spec.to_dict(),
+        "seed": spec.seed if seed is None else int(seed),
+        "scale": scale,
+        "shards": resolved_shards,
+        "kernel": bool(kernel),
+    }
+
+
+def canonical_sweep_payload(
+    sweep: str, seed: Optional[int] = None, scale: float = 1.0
+) -> Dict[str, object]:
+    """The canonical payload of one sweep-grid request (see above)."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    from repro.sweeps.library import get_sweep
+
+    get_sweep(sweep)  # unknown names fail at submission time
+    return {
+        "kind": "sweep",
+        "sweep": sweep,
+        "seed": None if seed is None else int(seed),
+        "scale": scale,
+    }
+
+
+# -- request execution (module-level so the forked child can run it) ----------
+
+
+def execute_request(
+    payload: Dict[str, object], execution: Optional[Dict[str, object]] = None
+) -> Dict[str, str]:
+    """Execute one canonical request; returns the bundle documents.
+
+    Runs entirely through :class:`repro.session.Session` /
+    :func:`repro.sweeps.engine.run_sweep` — the same code paths as the CLI —
+    and serialises through the shared bundle writer, so the returned
+    documents are byte-identical to a CLI run/export of the same request.
+    ``execution`` carries non-canonical hints (sweep cell workers).
+    """
+    from repro.session import Session
+
+    execution = execution or {}
+    kind = payload["kind"]
+    if kind == "scenario":
+        spec = ScenarioSpec.from_dict(payload["spec"])  # type: ignore[arg-type]
+        session = Session.from_spec(
+            spec,
+            seed=int(payload["seed"]),  # type: ignore[arg-type]
+            kernel=bool(payload["kernel"]),
+            shards=int(payload["shards"]),  # type: ignore[arg-type]
+        )
+        result = session.run()
+        return run_documents(result, scale=float(payload["scale"]))  # type: ignore[arg-type]
+    if kind == "sweep":
+        from repro.sweeps.artifacts import to_csv, to_markdown
+        from repro.sweeps.engine import run_sweep
+
+        scale = float(payload["scale"])  # type: ignore[arg-type]
+        seed = payload["seed"]
+        sweep_result = run_sweep(
+            str(payload["sweep"]),
+            jobs=int(execution.get("jobs", 1)),  # type: ignore[arg-type]
+            seed=None if seed is None else int(seed),  # type: ignore[arg-type]
+            scale=None if scale == 1.0 else scale,
+        )
+        digest_text = dumps_json(sweep_result.to_dict())
+        return {
+            "digest.json": digest_text,
+            "result.json": digest_text,
+            "series.csv": to_csv(sweep_result),
+            "summary.md": to_markdown(sweep_result),
+        }
+    raise ValueError(f"unknown request kind {kind!r}")
+
+
+def _subprocess_entry(
+    conn: Connection,
+    payload: Dict[str, object],
+    execution: Dict[str, object],
+) -> None:
+    """Child-process entry: run the request, ship the outcome over the pipe."""
+    try:
+        documents = execute_request(payload, execution)
+        conn.send(("ok", documents))
+    except BaseException:
+        conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+# -- the job table ------------------------------------------------------------
+
+
+@dataclass
+class Job:
+    """One submitted request and its lifecycle state."""
+
+    id: str
+    digest: str
+    kind: str
+    label: str
+    payload: Dict[str, object]
+    execution: Dict[str, object] = field(default_factory=dict)
+    state: str = QUEUED
+    #: True when this submission was answered without a new execution
+    #: (deduplicated against a live job or served from the run store)
+    cached: bool = False
+    #: failure detail (the TaskError text, including the worker traceback)
+    detail: Optional[str] = None
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    timeout_s: Optional[float] = None
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+
+    def to_dict(self, clock_now: Optional[float] = None) -> Dict[str, object]:
+        """The status document ``GET /runs/{id}`` returns."""
+        document: Dict[str, object] = {
+            "id": self.id,
+            "kind": self.kind,
+            "label": self.label,
+            "digest": self.digest,
+            "state": self.state,
+            "cached": self.cached,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.detail is not None:
+            document["detail"] = self.detail
+        if self.state == RUNNING and clock_now is not None and self.started_at:
+            document["elapsed_s"] = max(0.0, clock_now - self.started_at)
+        if self.state == DONE and self.started_at and self.finished_at:
+            document["duration_s"] = self.finished_at - self.started_at
+        return document
+
+
+class JobManager:
+    """Bounded queue + worker pool + run-store integration (thread-safe)."""
+
+    def __init__(
+        self,
+        store: RunStore,
+        workers: Optional[int] = None,
+        max_queue: int = 16,
+        timeout_s: Optional[float] = None,
+        clock: Callable[[], float] = wall_clock,
+        executor: Optional[Callable[..., Dict[str, str]]] = None,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.store = store
+        self.workers = workers if workers is not None else min(4, default_jobs())
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.max_queue = max_queue
+        self.timeout_s = timeout_s
+        self._clock = clock
+        #: in-thread executor override (tests); None = process isolation
+        self._executor = executor
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, Job] = {}
+        self._by_digest: Dict[str, str] = {}
+        self._queue: "queue.Queue[str]" = queue.Queue()
+        self._stop = threading.Event()
+        self._accepting = True
+        self._busy = 0
+        self._durations: List[float] = []
+        self.dedup_hits = 0
+        self.store_hits = 0
+        self.misses = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-worker-{index}", daemon=True
+            )
+            for index in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        payload: Dict[str, object],
+        label: str,
+        execution: Optional[Dict[str, object]] = None,
+        timeout_s: Optional[float] = None,
+    ) -> Tuple[Job, bool]:
+        """Submit one canonical request; dedupes, caches, or enqueues.
+
+        Returns ``(job, cached)`` — ``cached`` is True when this submission
+        triggered **no new execution** (it joined a live identical job, or
+        the digest was already in the run store).  Raises
+        :class:`QueueFullError` on backpressure and
+        :class:`ServiceClosedError` while draining.
+        """
+        digest = request_digest(payload)
+        kind = str(payload["kind"])
+        with self._lock:
+            if not self._accepting:
+                raise ServiceClosedError("service is draining; not accepting jobs")
+            existing_id = self._by_digest.get(digest)
+            if existing_id is not None:
+                existing = self._jobs[existing_id]
+                if existing.state not in (FAILED, CANCELLED):
+                    # Live dedup: identical submission joins the same run.
+                    self.dedup_hits += 1
+                    return existing, True
+                # A failed/cancelled digest is re-runnable: requeue below.
+            if digest in self.store:
+                self.store_hits += 1
+                job = self._register(
+                    digest, kind, label, payload, execution, timeout_s
+                )
+                job.state = DONE
+                job.cached = True
+                job.finished_at = job.submitted_at
+                return job, True
+            queued = sum(1 for job in self._jobs.values() if job.state == QUEUED)
+            if queued >= self.max_queue:
+                raise QueueFullError(self._retry_after_locked(queued))
+            self.misses += 1
+            job = self._register(digest, kind, label, payload, execution, timeout_s)
+            self._queue.put(job.id)
+            return job, False
+
+    def _register(
+        self,
+        digest: str,
+        kind: str,
+        label: str,
+        payload: Dict[str, object],
+        execution: Optional[Dict[str, object]],
+        timeout_s: Optional[float],
+    ) -> Job:
+        job = Job(
+            id=digest[:RUN_ID_LENGTH],
+            digest=digest,
+            kind=kind,
+            label=label,
+            payload=payload,
+            execution=dict(execution or {}),
+            submitted_at=self._clock(),
+            timeout_s=self.timeout_s if timeout_s is None else timeout_s,
+        )
+        previous = self._jobs.get(job.id)
+        if previous is not None and previous.digest != digest:
+            # A 64-bit id prefix collision between distinct digests: keep the
+            # full digest as the id instead of serving someone else's run.
+            job.id = digest
+        self._jobs[job.id] = job
+        self._by_digest[digest] = job.id
+        return job
+
+    def _retry_after_locked(self, queued: int) -> int:
+        if self._durations:
+            average = sum(self._durations) / len(self._durations)
+        else:
+            average = 1.0
+        waves = (queued + self.workers) / max(1, self.workers)
+        return max(1, int(average * waves + 0.5))
+
+    # -- queries -------------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return sum(1 for job in self._jobs.values() if job.state == QUEUED)
+
+    def stats(self) -> Dict[str, object]:
+        """The counters behind ``GET /stats``."""
+        with self._lock:
+            states = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                states[job.state] += 1
+            submissions = self.dedup_hits + self.store_hits + self.misses
+            hits = self.dedup_hits + self.store_hits
+            return {
+                "workers": self.workers,
+                "busy_workers": self._busy,
+                "worker_utilisation": self._busy / self.workers,
+                "queue_depth": states[QUEUED],
+                "max_queue": self.max_queue,
+                "accepting": self._accepting,
+                "jobs": states,
+                "cache": {
+                    "dedup_hits": self.dedup_hits,
+                    "store_hits": self.store_hits,
+                    "misses": self.misses,
+                    "hit_ratio": (hits / submissions) if submissions else 0.0,
+                },
+            }
+
+    # -- cancellation --------------------------------------------------------
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Request cancellation; returns the job, or None when unknown.
+
+        Queued jobs cancel immediately; running jobs have their worker
+        process terminated (in-thread executors finish their current step
+        and are then marked cancelled).  Terminal jobs are left untouched.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.state == QUEUED:
+                self._finish_locked(job, CANCELLED, detail="cancelled while queued")
+                return job
+            if job.state == RUNNING:
+                job.cancel_event.set()
+                return job
+            return job
+
+    # -- worker loop ---------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                job_id = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            with self._lock:
+                job = self._jobs.get(job_id)
+                if job is None or job.state != QUEUED:
+                    continue  # cancelled (or superseded) while queued
+                job.state = RUNNING
+                job.started_at = self._clock()
+                self._busy += 1
+            try:
+                self._execute(job)
+            finally:
+                with self._lock:
+                    self._busy -= 1
+
+    def _execute(self, job: Job) -> None:
+        try:
+            if self._executor is not None:
+                documents = self._run_inline(job)
+            else:
+                documents = self._run_isolated(job)
+        except TaskError as error:
+            self._finish(job, FAILED, detail=str(error))
+            return
+        except _CancelledExecution:
+            self._finish(job, CANCELLED, detail="cancelled while running")
+            return
+        except _TimedOutExecution as error:
+            self._finish(job, FAILED, detail=str(error))
+            return
+        if job.cancel_event.is_set():
+            self._finish(job, CANCELLED, detail="cancelled while running")
+            return
+        self.store.put(
+            job.digest,
+            documents,
+            kind=job.kind,
+            meta={"label": job.label, "id": job.id},
+        )
+        self._finish(job, DONE)
+
+    def _run_inline(self, job: Job) -> Dict[str, str]:
+        assert self._executor is not None
+        try:
+            return self._executor(job.payload, job.execution)
+        except Exception:
+            raise TaskError(0, job.label, traceback.format_exc()) from None
+
+    def _run_isolated(self, job: Job) -> Dict[str, str]:
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+        process = multiprocessing.Process(
+            target=_subprocess_entry,
+            args=(child_conn, job.payload, job.execution),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        deadline = (
+            None if job.timeout_s is None else self._clock() + job.timeout_s
+        )
+        try:
+            while True:
+                if job.cancel_event.is_set():
+                    _terminate(process)
+                    raise _CancelledExecution()
+                if deadline is not None and self._clock() >= deadline:
+                    _terminate(process)
+                    raise _TimedOutExecution(
+                        f"job {job.id} exceeded its {job.timeout_s:g}s timeout "
+                        "and was terminated"
+                    )
+                if parent_conn.poll(0.1):
+                    break
+                if not process.is_alive() and not parent_conn.poll(0):
+                    raise TaskError(
+                        0,
+                        job.label,
+                        f"worker process died with exit code {process.exitcode} "
+                        "before reporting a result",
+                    )
+            try:
+                status, detail = parent_conn.recv()
+            except EOFError:
+                raise TaskError(
+                    0,
+                    job.label,
+                    f"worker process died with exit code {process.exitcode} "
+                    "mid-result",
+                ) from None
+            if status != "ok":
+                raise TaskError(0, job.label, str(detail))
+            return dict(detail)
+        finally:
+            parent_conn.close()
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                _terminate(process)
+                process.join(timeout=5.0)
+
+    def _finish(self, job: Job, state: str, detail: Optional[str] = None) -> None:
+        with self._lock:
+            self._finish_locked(job, state, detail=detail)
+
+    def _finish_locked(self, job: Job, state: str, detail: Optional[str]) -> None:
+        if job.state in _TERMINAL_STATES:
+            return  # first terminal transition wins
+        job.state = state
+        job.detail = detail
+        job.finished_at = self._clock()
+        if state == DONE and job.started_at is not None:
+            self._durations.append(job.finished_at - job.started_at)
+            del self._durations[:-32]  # a short moving window is plenty
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def drain(self, timeout_s: float = 60.0) -> bool:
+        """Stop accepting, wait for queued+running jobs to finish.
+
+        Returns True when everything reached a terminal state in time.
+        Queued jobs are *finished*, not dropped — the bounded queue keeps
+        the remaining work finite.
+        """
+        with self._lock:
+            self._accepting = False
+        deadline = self._clock() + timeout_s
+        while self._clock() < deadline:
+            with self._lock:
+                pending = [
+                    job
+                    for job in self._jobs.values()
+                    if job.state not in _TERMINAL_STATES
+                ]
+            if not pending:
+                return True
+            threading.Event().wait(0.05)
+        return False
+
+    def shutdown(self, drain: bool = True, timeout_s: float = 60.0) -> bool:
+        """Drain (optionally), then stop the worker threads."""
+        drained = self.drain(timeout_s=timeout_s) if drain else True
+        with self._lock:
+            self._accepting = False
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        return drained
+
+
+class _CancelledExecution(Exception):
+    """Internal: the running job's process was terminated by a cancel."""
+
+
+class _TimedOutExecution(Exception):
+    """Internal: the running job's process was terminated by its timeout."""
+
+
+def _terminate(process: multiprocessing.Process) -> None:
+    if process.is_alive():
+        process.terminate()
+        process.join(timeout=5.0)
+        if process.is_alive():  # pragma: no cover - defensive
+            process.kill()
+            process.join(timeout=5.0)
+
+
+def job_payload_json(job: Job) -> str:
+    """The canonical JSON of a job's payload (diagnostics endpoint)."""
+    return json.dumps(job.payload, indent=2, sort_keys=True) + "\n"

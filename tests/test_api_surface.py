@@ -27,6 +27,7 @@ SNAPSHOT_PATH = Path(__file__).parent / "api_surface.json"
 def current_surface() -> dict:
     import repro.analysis
     import repro.scenarios
+    import repro.service
     import repro.session
     import repro.sweeps
     from repro.analysis import rule_ids
@@ -62,6 +63,7 @@ def current_surface() -> dict:
         "sweeps": sweep_names(),
         "repro.analysis": sorted(repro.analysis.__all__),
         "analysis_rules": sorted(rule_ids()),
+        "repro.service": sorted(repro.service.__all__),
     }
 
 
